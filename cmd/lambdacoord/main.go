@@ -1,0 +1,111 @@
+// Command lambdacoord runs one replica of the Paxos-replicated cluster
+// coordination service (paper §4.2.1): membership via heartbeats, replica
+// group configuration, failover promotions, and microshard placement
+// overrides.
+//
+// Usage (three replicas):
+//
+//	lambdacoord -id 1 -addr :7101 -peers 1=host1:7101,2=host2:7102,3=host3:7103
+//	lambdacoord -id 2 -addr :7102 -peers ...
+//	lambdacoord -id 3 -addr :7103 -peers ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lambdastore/internal/coordinator"
+	"lambdastore/internal/paxos"
+	"lambdastore/internal/rpc"
+)
+
+func parsePeers(s string) (map[uint64]string, []uint64, error) {
+	addrs := make(map[uint64]string)
+	var ids []uint64
+	for _, part := range strings.Split(s, ",") {
+		if part == "" {
+			continue
+		}
+		idStr, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad peer %q (want id=addr)", part)
+		}
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad peer id %q", idStr)
+		}
+		addrs[id] = addr
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("no peers given")
+	}
+	return addrs, ids, nil
+}
+
+func main() {
+	var (
+		id        = flag.Uint64("id", 0, "this replica's Paxos identity (required, unique)")
+		addr      = flag.String("addr", "127.0.0.1:7101", "RPC listen address")
+		peers     = flag.String("peers", "", "all replicas as id=addr,... (including self)")
+		hbTimeout = flag.Duration("heartbeat-timeout", 2*time.Second, "declare a node dead after this silence")
+		dataDir   = flag.String("data", "", "directory for the durable acceptor log (strongly recommended)")
+	)
+	flag.Parse()
+	if *id == 0 || *peers == "" {
+		fmt.Fprintln(os.Stderr, "lambdacoord: -id and -peers are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	peerAddrs, peerIDs, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("lambdacoord: %v", err)
+	}
+	if _, ok := peerAddrs[*id]; !ok {
+		log.Fatalf("lambdacoord: -peers must include this replica (id %d)", *id)
+	}
+
+	svc := coordinator.New(*id, peerIDs, nil, coordinator.Options{
+		HeartbeatTimeout: *hbTimeout,
+	})
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("lambdacoord: %v", err)
+		}
+		stable, err := paxos.OpenFileStable(fmt.Sprintf("%s/acceptor-%d.log", *dataDir, *id))
+		if err != nil {
+			log.Fatalf("lambdacoord: %v", err)
+		}
+		defer stable.Close()
+		if err := svc.Node().SetStable(stable); err != nil {
+			log.Fatalf("lambdacoord: load acceptor state: %v", err)
+		}
+	} else {
+		log.Printf("lambdacoord: WARNING: running without -data; acceptor state will not survive restarts")
+	}
+	srv := rpc.NewServer()
+	coordinator.RegisterServer(srv, svc)
+	bound, err := srv.Serve(*addr)
+	if err != nil {
+		log.Fatalf("lambdacoord: listen: %v", err)
+	}
+	pool := rpc.NewPool(nil)
+	svc.SetTransport(paxos.NewRPCTransport(svc.Node(), pool, peerAddrs))
+	svc.Start()
+	log.Printf("lambdacoord: replica %d serving on %s (%d peers)", *id, bound, len(peerIDs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("lambdacoord: shutting down")
+	svc.Close()
+	srv.Close()
+	pool.Close()
+}

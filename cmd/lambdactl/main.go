@@ -1,0 +1,244 @@
+// Command lambdactl is the operator CLI for a LambdaStore cluster: create
+// and invoke objects, deploy object types, migrate microshards, assemble
+// and disassemble guest modules, and inspect node stats.
+//
+// Usage:
+//
+//	lambdactl -config cluster.json create -type User -id 42
+//	lambdactl -config cluster.json invoke -id 42 -method create_account -arg alice
+//	lambdactl -config cluster.json invoke -id 42 -method get_name -out str
+//	lambdactl -config cluster.json register-retwis
+//	lambdactl -config cluster.json migrate -id 42 -dest 1
+//	lambdactl -config cluster.json stats
+//	lambdactl asm -file user.s -o user.mod
+//	lambdactl disasm -file user.mod
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"lambdastore/internal/cluster"
+	"lambdastore/internal/core"
+	"lambdastore/internal/retwis"
+	"lambdastore/internal/vm"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `lambdactl [-config FILE] COMMAND [flags]
+
+Commands:
+  create          -type NAME -id N           create an object
+  delete          -id N                      delete an object
+  invoke          -id N -method M [-arg S | -argi64 N | -arghex H]...
+                  [-out raw|str|i64|hex]     invoke a method
+  migrate         -id N -dest GROUP          move a microshard
+  register-retwis                            deploy the Retwis User type
+  stats                                      print per-node stats
+  asm             -file SRC [-o OUT]         assemble a guest module
+  disasm          -file MOD                  disassemble a guest module`)
+	os.Exit(2)
+}
+
+// repeatedFlag collects repeated string flags.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var configPath string
+	flag.StringVar(&configPath, "config", "", "cluster configuration file (JSON)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+
+	switch cmd {
+	case "asm":
+		runAsm(rest)
+		return
+	case "disasm":
+		runDisasm(rest)
+		return
+	}
+
+	if configPath == "" {
+		log.Fatal("lambdactl: -config is required for cluster commands")
+	}
+	cfg, err := cluster.LoadConfigFile(configPath)
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Directory:    cfg.Directory(),
+		Coordinators: cfg.Coordinators,
+	})
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	defer client.Close()
+
+	switch cmd {
+	case "create":
+		fs := flag.NewFlagSet("create", flag.ExitOnError)
+		typeName := fs.String("type", "", "object type name")
+		id := fs.Uint64("id", 0, "object id")
+		fs.Parse(rest)
+		if *typeName == "" {
+			log.Fatal("lambdactl: create needs -type")
+		}
+		if err := client.CreateObject(*typeName, core.ObjectID(*id)); err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		fmt.Printf("created %s (%s)\n", core.ObjectID(*id), *typeName)
+
+	case "invoke":
+		fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+		id := fs.Uint64("id", 0, "object id")
+		method := fs.String("method", "", "method name")
+		out := fs.String("out", "raw", "result rendering: raw|str|i64|hex")
+		var strArgs, i64Args, hexArgs repeatedFlag
+		fs.Var(&strArgs, "arg", "string argument (repeatable)")
+		fs.Var(&i64Args, "argi64", "int64 argument (repeatable)")
+		fs.Var(&hexArgs, "arghex", "hex-encoded argument (repeatable)")
+		fs.Parse(rest)
+		if *method == "" {
+			log.Fatal("lambdactl: invoke needs -method")
+		}
+		var args [][]byte
+		for _, s := range strArgs {
+			args = append(args, []byte(s))
+		}
+		for _, s := range i64Args {
+			n, err := strconv.ParseInt(s, 0, 64)
+			if err != nil {
+				log.Fatalf("lambdactl: bad -argi64 %q", s)
+			}
+			args = append(args, core.I64Bytes(n))
+		}
+		for _, s := range hexArgs {
+			b, err := hex.DecodeString(s)
+			if err != nil {
+				log.Fatalf("lambdactl: bad -arghex %q", s)
+			}
+			args = append(args, b)
+		}
+		result, err := client.Invoke(core.ObjectID(*id), *method, args)
+		if err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		switch *out {
+		case "str":
+			fmt.Println(string(result))
+		case "i64":
+			fmt.Println(core.BytesI64(result))
+		case "hex":
+			fmt.Println(hex.EncodeToString(result))
+		default:
+			os.Stdout.Write(result)
+			fmt.Println()
+		}
+
+	case "delete":
+		fs := flag.NewFlagSet("delete", flag.ExitOnError)
+		id := fs.Uint64("id", 0, "object id")
+		fs.Parse(rest)
+		if err := client.DeleteObject(core.ObjectID(*id)); err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		fmt.Printf("deleted %s\n", core.ObjectID(*id))
+
+	case "migrate":
+		fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+		id := fs.Uint64("id", 0, "object id")
+		dest := fs.Uint64("dest", 0, "destination group id")
+		fs.Parse(rest)
+		if err := client.Migrate(core.ObjectID(*id), *dest); err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		fmt.Printf("migrated %s to group %d\n", core.ObjectID(*id), *dest)
+
+	case "register-retwis":
+		typ, err := retwis.NewType()
+		if err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		if err := client.RegisterType(typ); err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		fmt.Println("registered type User on all replicas")
+
+	case "stats":
+		seen := map[string]bool{}
+		for _, g := range client.Directory().Groups() {
+			for _, addr := range g.Replicas() {
+				if seen[addr] {
+					continue
+				}
+				seen[addr] = true
+				line, err := client.Stats(addr)
+				if err != nil {
+					fmt.Printf("%s: unreachable (%v)\n", addr, err)
+					continue
+				}
+				fmt.Println(line)
+			}
+		}
+
+	default:
+		usage()
+	}
+}
+
+func runAsm(args []string) {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	file := fs.String("file", "", "assembly source file")
+	out := fs.String("o", "", "output module file (default: stdout hex)")
+	fs.Parse(args)
+	if *file == "" {
+		log.Fatal("lambdactl: asm needs -file")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	mod, err := vm.Assemble(string(src))
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	enc := mod.Encode()
+	if *out == "" {
+		fmt.Println(hex.EncodeToString(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	fmt.Printf("wrote %d bytes (%d functions) to %s\n", len(enc), len(mod.Funcs), *out)
+}
+
+func runDisasm(args []string) {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	file := fs.String("file", "", "module file")
+	fs.Parse(args)
+	if *file == "" {
+		log.Fatal("lambdactl: disasm needs -file")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	mod, err := vm.Decode(data)
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	fmt.Print(vm.Disassemble(mod))
+}

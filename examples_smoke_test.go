@@ -1,0 +1,42 @@
+package lambdastore_test
+
+// Smoke tests: every example must run to completion. They exercise the
+// public API end to end (node boot, type deploy, invocation, replication)
+// exactly as a new user would.
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, path string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("example smoke tests are slow")
+	}
+	cmd := exec.Command("go", "run", path)
+	done := make(chan error, 1)
+	var out []byte
+	go func() {
+		var err error
+		out, err = cmd.CombinedOutput()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s failed: %v\n%s", path, err, out)
+		}
+	case <-time.After(3 * time.Minute):
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		t.Fatalf("%s timed out", path)
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) { runExample(t, "./examples/quickstart") }
+func TestExampleRetwis(t *testing.T)     { runExample(t, "./examples/retwis") }
+func TestExampleBank(t *testing.T)       { runExample(t, "./examples/bank") }
+func TestExampleAuthstore(t *testing.T)  { runExample(t, "./examples/authstore") }

@@ -1,0 +1,3 @@
+module lambdastore
+
+go 1.22

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bench
+
+// raceEnabled disables performance-shape assertions when true.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled disables performance-shape assertions: under the race
+// detector all timing is distorted and only functional checks remain
+// meaningful.
+const raceEnabled = true

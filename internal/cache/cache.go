@@ -1,0 +1,211 @@
+// Package cache implements LambdaStore's consistent function-result cache
+// (paper §4.2.2). For a deterministic read-only method, the storage node
+// records the method's output together with a hash of its input and its
+// read set (the keys it read and hashes of their values). A later identical
+// invocation is answered from the cache only after re-validating every read
+// dependency against the current committed state — which the node can do
+// cheaply and consistently precisely because data and compute are
+// co-located. Commits to an object additionally invalidate its entries
+// proactively.
+package cache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// HashValue produces the value fingerprint stored in read sets. A presence
+// bit is mixed in so "absent" and "present but empty" differ.
+func HashValue(value []byte, present bool) uint64 {
+	h := fnv.New64a()
+	if present {
+		h.Write([]byte{1})
+		h.Write(value)
+	} else {
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// HashArgs fingerprints an invocation's arguments (the "hash of its input").
+func HashArgs(method string, args [][]byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(method))
+	for _, a := range args {
+		var lenBuf [8]byte
+		n := len(a)
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write(a)
+	}
+	return h.Sum64()
+}
+
+// ReadDep is one entry of a cached invocation's read set.
+type ReadDep struct {
+	Key       []byte
+	ValueHash uint64
+}
+
+// Entry is one cached result.
+type Entry struct {
+	Result  []byte
+	ReadSet []ReadDep
+
+	key     entryKey
+	element *list.Element
+}
+
+// entryKey identifies a cached invocation.
+type entryKey struct {
+	object   uint64
+	method   string
+	argsHash uint64
+}
+
+// Stats counts cache outcomes for the benchmark harness.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Validations uint64 // entries found but re-validated away
+	Stores      uint64
+	Evictions   uint64
+}
+
+// Cache is a bounded, LRU-evicting consistent result cache. Safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[entryKey]*Entry
+	byObject map[uint64]map[entryKey]struct{}
+	lru      *list.List // front = most recent
+	capacity int
+	stats    Stats
+}
+
+// New returns a cache bounded to capacity entries (<=0 means 64k).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 64 << 10
+	}
+	return &Cache{
+		entries:  make(map[entryKey]*Entry),
+		byObject: make(map[uint64]map[entryKey]struct{}),
+		lru:      list.New(),
+		capacity: capacity,
+	}
+}
+
+// Lookup finds a cached result for (object, method, argsHash) and validates
+// its read set with readHash, which must return the fingerprint of the
+// named key's current committed value. It returns (result, true) only if
+// every dependency still matches; stale entries are dropped.
+func (c *Cache) Lookup(object uint64, method string, argsHash uint64, readHash func(key []byte) uint64) ([]byte, bool) {
+	k := entryKey{object: object, method: method, argsHash: argsHash}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	// Copy the read set out so validation runs without the lock (readHash
+	// hits the storage engine).
+	deps := e.ReadSet
+	result := e.Result
+	c.mu.Unlock()
+
+	for _, dep := range deps {
+		if readHash(dep.Key) != dep.ValueHash {
+			c.mu.Lock()
+			c.stats.Validations++
+			c.removeLocked(k)
+			c.mu.Unlock()
+			return nil, false
+		}
+	}
+	c.mu.Lock()
+	if cur, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(cur.element)
+	}
+	c.stats.Hits++
+	c.mu.Unlock()
+	return result, true
+}
+
+// Store records a validated result with its read set.
+func (c *Cache) Store(object uint64, method string, argsHash uint64, result []byte, readSet []ReadDep) {
+	k := entryKey{object: object, method: method, argsHash: argsHash}
+	e := &Entry{
+		Result:  append([]byte(nil), result...),
+		ReadSet: readSet,
+		key:     k,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[k]; ok {
+		c.lru.Remove(old.element)
+	}
+	e.element = c.lru.PushFront(e)
+	c.entries[k] = e
+	objSet, ok := c.byObject[object]
+	if !ok {
+		objSet = make(map[entryKey]struct{})
+		c.byObject[object] = objSet
+	}
+	objSet[k] = struct{}{}
+	c.stats.Stores++
+
+	for len(c.entries) > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*Entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// InvalidateObject drops every entry whose invocation ran against object.
+// Called on each commit to the object; read-set validation would also catch
+// staleness, so this is a proactive fast path.
+func (c *Cache) InvalidateObject(object uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.byObject[object] {
+		c.removeLocked(k)
+	}
+}
+
+// removeLocked unlinks an entry from all indexes. Caller holds c.mu.
+func (c *Cache) removeLocked(k entryKey) {
+	e, ok := c.entries[k]
+	if !ok {
+		return
+	}
+	delete(c.entries, k)
+	c.lru.Remove(e.element)
+	if objSet, ok := c.byObject[k.object]; ok {
+		delete(objSet, k)
+		if len(objSet) == 0 {
+			delete(c.byObject, k.object)
+		}
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

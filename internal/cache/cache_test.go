@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// stableHash is a validation function over a mutable fake store.
+type fakeStore struct {
+	mu   sync.Mutex
+	vals map[string][]byte
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{vals: map[string][]byte{}} }
+
+func (f *fakeStore) put(k string, v []byte) {
+	f.mu.Lock()
+	f.vals[k] = v
+	f.mu.Unlock()
+}
+
+func (f *fakeStore) hash(key []byte) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.vals[string(key)]
+	return HashValue(v, ok)
+}
+
+func TestLookupMissStoreHit(t *testing.T) {
+	c := New(16)
+	st := newFakeStore()
+	st.put("k1", []byte("v1"))
+
+	if _, ok := c.Lookup(1, "m", 42, st.hash); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store(1, "m", 42, []byte("result"), []ReadDep{{Key: []byte("k1"), ValueHash: st.hash([]byte("k1"))}})
+	res, ok := c.Lookup(1, "m", 42, st.hash)
+	if !ok || string(res) != "result" {
+		t.Fatalf("lookup = %q, %v", res, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestValidationRejectsStaleReadSet(t *testing.T) {
+	c := New(16)
+	st := newFakeStore()
+	st.put("k1", []byte("old"))
+	c.Store(1, "m", 7, []byte("res"), []ReadDep{{Key: []byte("k1"), ValueHash: st.hash([]byte("k1"))}})
+
+	// Change the dependency out from under the cache.
+	st.put("k1", []byte("new"))
+	if _, ok := c.Lookup(1, "m", 7, st.hash); ok {
+		t.Fatal("stale entry validated")
+	}
+	// The stale entry must have been dropped.
+	if c.Len() != 0 {
+		t.Fatalf("stale entry retained (len %d)", c.Len())
+	}
+	if c.Stats().Validations != 1 {
+		t.Fatalf("stats %+v", c.Stats())
+	}
+}
+
+func TestAbsentVsEmptyDistinct(t *testing.T) {
+	if HashValue(nil, false) == HashValue(nil, true) {
+		t.Fatal("absent and empty hash identically")
+	}
+}
+
+func TestArgsHash(t *testing.T) {
+	a := HashArgs("m", [][]byte{[]byte("x"), []byte("y")})
+	b := HashArgs("m", [][]byte{[]byte("xy")})
+	if a == b {
+		t.Fatal("argument framing not length-delimited")
+	}
+	if HashArgs("m1", nil) == HashArgs("m2", nil) {
+		t.Fatal("method name not mixed in")
+	}
+	if HashArgs("m", [][]byte{[]byte("a")}) != HashArgs("m", [][]byte{[]byte("a")}) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestInvalidateObject(t *testing.T) {
+	c := New(16)
+	st := newFakeStore()
+	dep := []ReadDep{{Key: []byte("k"), ValueHash: st.hash([]byte("k"))}}
+	c.Store(1, "a", 1, []byte("r1"), dep)
+	c.Store(1, "b", 2, []byte("r2"), dep)
+	c.Store(2, "a", 1, []byte("r3"), dep)
+	c.InvalidateObject(1)
+	if _, ok := c.Lookup(1, "a", 1, st.hash); ok {
+		t.Fatal("invalidated entry hit")
+	}
+	if _, ok := c.Lookup(2, "a", 1, st.hash); !ok {
+		t.Fatal("unrelated object invalidated")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(4)
+	st := newFakeStore()
+	for i := 0; i < 10; i++ {
+		c.Store(uint64(i), "m", 0, []byte("r"), nil)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", c.Len())
+	}
+	// The most recent 4 survive.
+	for i := 6; i < 10; i++ {
+		if _, ok := c.Lookup(uint64(i), "m", 0, st.hash); !ok {
+			t.Fatalf("recent entry %d evicted", i)
+		}
+	}
+	if c.Stats().Evictions != 6 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	c := New(2)
+	st := newFakeStore()
+	c.Store(1, "m", 0, []byte("r1"), nil)
+	c.Store(2, "m", 0, []byte("r2"), nil)
+	// Touch 1 so 2 becomes the eviction victim.
+	c.Lookup(1, "m", 0, st.hash)
+	c.Store(3, "m", 0, []byte("r3"), nil)
+	if _, ok := c.Lookup(1, "m", 0, st.hash); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Lookup(2, "m", 0, st.hash); ok {
+		t.Fatal("LRU victim survived")
+	}
+}
+
+func TestReplaceExistingEntry(t *testing.T) {
+	c := New(4)
+	st := newFakeStore()
+	c.Store(1, "m", 0, []byte("old"), nil)
+	c.Store(1, "m", 0, []byte("new"), nil)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	res, ok := c.Lookup(1, "m", 0, st.hash)
+	if !ok || string(res) != "new" {
+		t.Fatalf("lookup = %q", res)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128)
+	st := newFakeStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				obj := uint64(i % 32)
+				switch i % 3 {
+				case 0:
+					c.Store(obj, "m", uint64(w), []byte(fmt.Sprintf("r%d", i)), nil)
+				case 1:
+					c.Lookup(obj, "m", uint64(w), st.hash)
+				default:
+					c.InvalidateObject(obj)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHashValueQuick(t *testing.T) {
+	f := func(a, b []byte) bool {
+		// Equal inputs hash equal; hash is deterministic.
+		if HashValue(a, true) != HashValue(a, true) {
+			return false
+		}
+		// Different presence differs even for equal bytes.
+		return HashValue(a, true) != HashValue(a, false) || false ||
+			HashValue(b, true) == HashValue(b, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lambdastore/internal/coordinator"
+	"lambdastore/internal/core"
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/shard"
+	"lambdastore/internal/wire"
+)
+
+// Client is the application-facing library: it resolves objects to their
+// replica group, sends invocations to the responsible node, and retries
+// through configuration changes. Mutating invocations go to the primary;
+// explicitly read-only invocations are spread across replicas.
+type Client struct {
+	pool  *rpc.Pool
+	coord *coordinator.Client
+
+	dirMu sync.RWMutex
+	dir   *shard.Directory
+
+	rr atomic.Uint64 // round-robin cursor for replica reads
+
+	// maxRetries bounds routing retries after stale-config rejections.
+	maxRetries int
+}
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Directory is a static configuration (benchmarks, tests).
+	Directory *shard.Directory
+	// Coordinators enables dynamic configuration refresh.
+	Coordinators []string
+	// RPC tunes outbound connections (latency injection, timeouts).
+	RPC *rpc.ClientOptions
+	// MaxRetries bounds routing retries (default 4).
+	MaxRetries int
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	c := &Client{
+		pool:       rpc.NewPool(cfg.RPC),
+		dir:        cfg.Directory,
+		maxRetries: cfg.MaxRetries,
+	}
+	if c.maxRetries <= 0 {
+		c.maxRetries = 4
+	}
+	if len(cfg.Coordinators) > 0 {
+		c.coord = coordinator.NewClient(c.pool, cfg.Coordinators)
+	}
+	if c.dir == nil {
+		if c.coord == nil {
+			return nil, fmt.Errorf("cluster: client needs a directory or coordinators")
+		}
+		d, err := c.coord.GetConfig()
+		if err != nil {
+			return nil, err
+		}
+		c.dir = d
+	}
+	return c, nil
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() { c.pool.Close() }
+
+// Directory returns the client's current configuration view.
+func (c *Client) Directory() *shard.Directory {
+	c.dirMu.RLock()
+	defer c.dirMu.RUnlock()
+	return c.dir
+}
+
+// SetDirectory installs a configuration view (static reconfiguration).
+func (c *Client) SetDirectory(d *shard.Directory) {
+	c.dirMu.Lock()
+	c.dir = d
+	c.dirMu.Unlock()
+}
+
+// refresh pulls a fresh configuration from the coordinator, if any.
+func (c *Client) refresh() bool {
+	if c.coord == nil {
+		return false
+	}
+	d, err := c.coord.GetConfig()
+	if err != nil {
+		return false
+	}
+	c.SetDirectory(d)
+	return true
+}
+
+// lookup resolves the group for an object.
+func (c *Client) lookup(id core.ObjectID) (shard.Group, error) {
+	c.dirMu.RLock()
+	defer c.dirMu.RUnlock()
+	return c.dir.Lookup(uint64(id))
+}
+
+// Invoke runs a (potentially mutating) method at the object's primary.
+func (c *Client) Invoke(id core.ObjectID, method string, args [][]byte) ([]byte, error) {
+	return c.invoke(id, method, args, false)
+}
+
+// InvokeRead runs a read-only method at one of the object's replicas,
+// spreading load round-robin. The server rejects the request if the method
+// is not actually read-only for routing purposes (backups refuse writes).
+func (c *Client) InvokeRead(id core.ObjectID, method string, args [][]byte) ([]byte, error) {
+	return c.invoke(id, method, args, true)
+}
+
+func (c *Client) invoke(id core.ObjectID, method string, args [][]byte, readOnly bool) ([]byte, error) {
+	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args, readOnly: readOnly})
+	var lastErr error
+	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		g, err := c.lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		addr := g.Primary
+		if readOnly {
+			replicas := g.Replicas()
+			addr = replicas[c.rr.Add(1)%uint64(len(replicas))]
+		}
+		resp, err := c.pool.Call(addr, MethodInvoke, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if hint, ok := ParseNotResponsible(err); ok {
+			// Stale configuration: try the hinted primary directly next.
+			if !c.refresh() && hint != "" {
+				resp, err := c.pool.Call(hint, MethodInvoke, body)
+				if err == nil {
+					return resp, nil
+				}
+				lastErr = err
+			}
+			continue
+		}
+		// Connection-level failure: the node may have died; refresh config
+		// (failover may have promoted a backup) and retry. Read-only
+		// requests also fail over to the next replica naturally via rr.
+		if !c.refresh() && !readOnly {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("cluster: invoke %s.%s failed after retries: %w", id, method, lastErr)
+}
+
+// InvokeTransaction executes a serializable multi-call transaction
+// (strict 2PL over the declared objects). All objects must be homed in the
+// same replica group; the request is routed to that group's primary.
+func (c *Client) InvokeTransaction(calls []core.TxCall) ([][]byte, error) {
+	if len(calls) == 0 {
+		return nil, nil
+	}
+	body := encodeTxReq(&txReq{calls: calls})
+	var lastErr error
+	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		g, err := c.lookup(calls[0].Object)
+		if err != nil {
+			return nil, err
+		}
+		for _, call := range calls[1:] {
+			cg, err := c.lookup(call.Object)
+			if err != nil {
+				return nil, err
+			}
+			if cg.ID != g.ID {
+				return nil, fmt.Errorf("cluster: transaction spans groups %d and %d (objects must share a replica group)", g.ID, cg.ID)
+			}
+		}
+		resp, err := c.pool.Call(g.Primary, MethodInvokeTx, body)
+		if err == nil {
+			return decodeTxResp(resp)
+		}
+		lastErr = err
+		if _, ok := ParseNotResponsible(err); ok {
+			c.refresh()
+			continue
+		}
+		if !c.refresh() {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: transaction failed after retries: %w", lastErr)
+}
+
+// CreateObject instantiates an object at its primary.
+func (c *Client) CreateObject(typeName string, id core.ObjectID) error {
+	body := encodeCreateReq(&createReq{object: id, typeName: typeName})
+	var lastErr error
+	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		g, err := c.lookup(id)
+		if err != nil {
+			return err
+		}
+		if _, err := c.pool.Call(g.Primary, MethodCreate, body); err == nil {
+			return nil
+		} else {
+			lastErr = err
+			if _, ok := ParseNotResponsible(err); ok {
+				c.refresh()
+				continue
+			}
+			if !c.refresh() {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
+// DeleteObject removes an object and all its state at its primary.
+func (c *Client) DeleteObject(id core.ObjectID) error {
+	body := wire.AppendUvarint(nil, uint64(id))
+	var lastErr error
+	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		g, err := c.lookup(id)
+		if err != nil {
+			return err
+		}
+		if _, err := c.pool.Call(g.Primary, MethodDelete, body); err == nil {
+			return nil
+		} else {
+			lastErr = err
+			if _, ok := ParseNotResponsible(err); ok {
+				c.refresh()
+				continue
+			}
+			if !c.refresh() {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
+// RegisterType installs a type on every node of every group (code deploy).
+func (c *Client) RegisterType(t *core.ObjectType) error {
+	body := t.Encode()
+	seen := map[string]bool{}
+	c.dirMu.RLock()
+	groups := c.dir.Groups()
+	c.dirMu.RUnlock()
+	for _, g := range groups {
+		for _, addr := range g.Replicas() {
+			if seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			if _, err := c.pool.Call(addr, MethodRegisterType, body); err != nil {
+				return fmt.Errorf("cluster: register type at %s: %w", addr, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Migrate moves an object to the given group via its current primary.
+func (c *Client) Migrate(id core.ObjectID, destGroup uint64) error {
+	g, err := c.lookup(id)
+	if err != nil {
+		return err
+	}
+	var dest shard.Group
+	found := false
+	c.dirMu.RLock()
+	for _, cand := range c.dir.Groups() {
+		if cand.ID == destGroup {
+			dest = cand
+			found = true
+		}
+	}
+	c.dirMu.RUnlock()
+	if !found {
+		return fmt.Errorf("cluster: no group %d", destGroup)
+	}
+	if g.ID == destGroup {
+		return nil
+	}
+	body := encodeMigrateReq(&migrateReq{object: id, destPrimary: dest.Primary, destGroup: destGroup})
+	if _, err := c.pool.Call(g.Primary, MethodMigrate, body); err != nil {
+		return err
+	}
+	// Keep the local view coherent for subsequent calls.
+	c.dirMu.Lock()
+	c.dir.SetOverride(uint64(id), destGroup)
+	c.dirMu.Unlock()
+	return nil
+}
+
+// HotObjects returns the load ranking observed at the given node.
+func (c *Client) HotObjects(addr string, limit int) ([]core.HotObject, error) {
+	body := wire.AppendUvarint(nil, uint64(limit))
+	resp, err := c.pool.Call(addr, MethodHotObjects, body)
+	if err != nil {
+		return nil, err
+	}
+	return decodeHotResp(resp)
+}
+
+// RebalanceHot is the elasticity loop the paper leaves as future work
+// (§7), made possible by objects being microshards: it finds the busiest
+// and idlest replica groups by observed invocation counts and migrates up
+// to k of the busiest group's hottest objects to the idlest group —
+// without disrupting computation on any other object.
+func (c *Client) RebalanceHot(k int) (moved int, err error) {
+	groups := c.Directory().Groups()
+	if len(groups) < 2 {
+		return 0, nil
+	}
+	type groupLoad struct {
+		group shard.Group
+		total uint64
+		hot   []core.HotObject
+	}
+	loads := make([]groupLoad, 0, len(groups))
+	for _, g := range groups {
+		hot, err := c.HotObjects(g.Primary, 4*k)
+		if err != nil {
+			return 0, err
+		}
+		gl := groupLoad{group: g, hot: hot}
+		for _, h := range hot {
+			gl.total += h.Count
+		}
+		loads = append(loads, gl)
+	}
+	busiest, idlest := 0, 0
+	for i := range loads {
+		if loads[i].total > loads[busiest].total {
+			busiest = i
+		}
+		if loads[i].total < loads[idlest].total {
+			idlest = i
+		}
+	}
+	if busiest == idlest || loads[busiest].total == loads[idlest].total {
+		return 0, nil
+	}
+	dest := loads[idlest].group.ID
+	for _, h := range loads[busiest].hot {
+		if moved >= k {
+			break
+		}
+		// Skip objects already homed elsewhere by a previous move.
+		g, err := c.lookup(h.ID)
+		if err != nil || g.ID != loads[busiest].group.ID {
+			continue
+		}
+		if err := c.Migrate(h.ID, dest); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// Stats fetches a node's stats line (debugging).
+func (c *Client) Stats(addr string) (string, error) {
+	resp, err := c.pool.Call(addr, MethodStats, nil)
+	return string(resp), err
+}

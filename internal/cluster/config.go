@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lambdastore/internal/shard"
+)
+
+// FileConfig is the JSON form of a static cluster configuration used by the
+// command-line tools:
+//
+//	{
+//	  "groups": [
+//	    {"id": 0, "primary": "10.0.0.1:7000",
+//	     "backups": ["10.0.0.2:7000", "10.0.0.3:7000"]}
+//	  ],
+//	  "coordinators": ["10.0.0.9:7100"]
+//	}
+type FileConfig struct {
+	Groups []struct {
+		ID      uint64   `json:"id"`
+		Primary string   `json:"primary"`
+		Backups []string `json:"backups"`
+	} `json:"groups"`
+	Coordinators []string `json:"coordinators"`
+}
+
+// LoadConfigFile parses a cluster configuration file.
+func LoadConfigFile(path string) (*FileConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read config: %w", err)
+	}
+	var cfg FileConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: parse config %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// Directory converts the file form into a shard directory.
+func (c *FileConfig) Directory() *shard.Directory {
+	d := shard.NewDirectory(nil)
+	for _, g := range c.Groups {
+		d.SetGroup(shard.Group{ID: g.ID, Primary: g.Primary, Backups: g.Backups})
+	}
+	return d
+}

@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdastore/internal/coordinator"
+	"lambdastore/internal/core"
+	"lambdastore/internal/replication"
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/shard"
+	"lambdastore/internal/store"
+	"lambdastore/internal/wire"
+)
+
+// NodeOptions configures a storage node.
+type NodeOptions struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// DataDir is the storage engine directory.
+	DataDir string
+	// Store tunes the LSM engine (nil = defaults).
+	Store *store.Options
+	// Runtime tunes the object runtime. Invoker and OnCommit are installed
+	// by the node; the remaining knobs (fuel, cache, clock) pass through.
+	Runtime core.Options
+	// GroupID is the replica group this node belongs to.
+	GroupID uint64
+	// Directory is the initial configuration (static mode). With a
+	// Coordinator configured the node refreshes it periodically.
+	Directory *shard.Directory
+	// Coordinators lists coordinator replica addresses (optional).
+	Coordinators []string
+	// HeartbeatInterval is how often the node reports liveness (default
+	// 500ms; only with Coordinators).
+	HeartbeatInterval time.Duration
+	// ClientOptions tunes this node's outbound connections (delay
+	// injection for experiments, timeouts).
+	ClientOptions *rpc.ClientOptions
+}
+
+// Node is one LambdaStore storage node: it persists objects, executes
+// their methods in the embedded isolation runtime, replicates committed
+// write-sets to its group's backups when acting as primary, and serves
+// read-only invocations when acting as backup.
+type Node struct {
+	opts    NodeOptions
+	addr    string
+	db      *store.DB
+	rt      *core.Runtime
+	srv     *rpc.Server
+	pool    *rpc.Pool
+	shipper *replication.Shipper
+	coord   *coordinator.Client
+
+	dir    atomic.Pointer[shard.Directory]
+	stopMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+
+	forwarded atomic.Uint64 // cross-object invocations routed off-node
+}
+
+// StartNode opens the store and starts serving.
+func StartNode(opts NodeOptions) (*Node, error) {
+	db, err := store.Open(opts.DataDir, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		opts: opts,
+		db:   db,
+		srv:  rpc.NewServer(),
+		pool: rpc.NewPool(opts.ClientOptions),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if opts.Directory == nil {
+		opts.Directory = shard.NewDirectory(nil)
+	}
+	n.dir.Store(opts.Directory)
+
+	n.shipper = replication.NewShipper(n.pool, n.onBackupFailure)
+
+	rtOpts := opts.Runtime
+	rtOpts.Invoker = &routerInvoker{node: n}
+	rtOpts.OnCommit = func(obj core.ObjectID, seq uint64, ws *store.Batch) {
+		// Synchronous primary-backup shipping: the invocation reply is not
+		// released until backups acknowledged (or were reported failed).
+		n.shipper.Ship(uint64(obj), ws) //nolint:errcheck // failures reported via onBackupFailure
+	}
+	n.rt, err = core.NewRuntime(db, rtOpts)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+
+	n.registerHandlers()
+	addr, err := n.srv.Serve(opts.Addr)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	n.addr = addr
+	n.refreshBackups()
+
+	if len(opts.Coordinators) > 0 {
+		n.coord = coordinator.NewClient(n.pool, opts.Coordinators)
+		go n.coordLoop()
+	} else {
+		close(n.done)
+	}
+	return n, nil
+}
+
+// Addr returns the node's RPC address.
+func (n *Node) Addr() string { return n.addr }
+
+// Runtime exposes the node's object runtime (tests, tools).
+func (n *Node) Runtime() *core.Runtime { return n.rt }
+
+// DB exposes the node's storage engine (tests, tools).
+func (n *Node) DB() *store.DB { return n.db }
+
+// Directory returns the node's current view of the configuration.
+func (n *Node) Directory() *shard.Directory { return n.dir.Load() }
+
+// SetDirectory installs a new configuration view.
+func (n *Node) SetDirectory(d *shard.Directory) {
+	n.dir.Store(d)
+	n.refreshBackups()
+}
+
+// Forwarded returns how many cross-object invocations left this node.
+func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
+
+// myGroup returns this node's group from the directory view.
+func (n *Node) myGroup() (shard.Group, bool) {
+	for _, g := range n.dir.Load().Groups() {
+		if g.ID == n.opts.GroupID {
+			return g, true
+		}
+	}
+	return shard.Group{}, false
+}
+
+// isPrimary reports whether this node is its group's primary.
+func (n *Node) isPrimary() bool {
+	g, ok := n.myGroup()
+	return ok && g.Primary == n.addr
+}
+
+// refreshBackups re-derives the replication fan-out from the directory.
+func (n *Node) refreshBackups() {
+	g, ok := n.myGroup()
+	if !ok || g.Primary != n.addr {
+		n.shipper.SetBackups(nil)
+		return
+	}
+	n.shipper.SetBackups(g.Backups)
+}
+
+// onBackupFailure reports a failed backup to the coordinator (which will
+// reconfigure the group) and keeps serving.
+func (n *Node) onBackupFailure(addr string, err error) {
+	// The coordinator's failure detector learns about it via missing
+	// heartbeats from the backup itself; nothing else to do here, but the
+	// hook is kept for observability.
+	_ = addr
+	_ = err
+}
+
+// coordLoop heartbeats and refreshes configuration.
+func (n *Node) coordLoop() {
+	defer close(n.done)
+	interval := n.opts.HeartbeatInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		n.coord.Heartbeat(n.addr)
+		if d, err := n.coord.GetConfig(); err == nil {
+			if d.Epoch() > n.dir.Load().Epoch() {
+				n.SetDirectory(d)
+			}
+		}
+	}
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.stopMu.Lock()
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	n.stopMu.Unlock()
+	<-n.done
+	n.srv.Close()
+	n.pool.Close()
+	return n.db.Close()
+}
+
+// routeCheck decides whether this node may execute the invocation:
+// primaries execute everything; backups execute explicitly read-only
+// requests (paper §4.2.1: "read-only functions can execute at any replica").
+func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
+	d := n.dir.Load()
+	g, err := d.Lookup(uint64(obj))
+	if err != nil {
+		// No configuration: single-node mode executes everything.
+		return nil
+	}
+	if g.Primary == n.addr {
+		return nil
+	}
+	if readOnly {
+		for _, b := range g.Backups {
+			if b == n.addr {
+				return nil
+			}
+		}
+	}
+	return notResponsibleError(g.Primary)
+}
+
+// registerHandlers wires the RPC surface.
+func (n *Node) registerHandlers() {
+	replication.RegisterBackup(n.srv, n.db, replication.ApplierFunc(
+		func(object uint64, b *store.Batch) error {
+			return n.rt.ApplyReplicated(core.ObjectID(object), b)
+		}))
+
+	n.srv.Handle(MethodPing, func(body []byte) ([]byte, error) {
+		return []byte(n.addr), nil
+	})
+
+	n.srv.Handle(MethodInvoke, func(body []byte) ([]byte, error) {
+		req, err := decodeInvokeReq(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.routeCheck(req.object, req.readOnly); err != nil {
+			return nil, err
+		}
+		return n.rt.Invoke(req.object, req.method, req.args)
+	})
+
+	n.srv.Handle(MethodInvokeTx, func(body []byte) ([]byte, error) {
+		req, err := decodeTxReq(body)
+		if err != nil {
+			return nil, err
+		}
+		// Transactions are single-node: every object must be homed here.
+		for _, c := range req.calls {
+			if err := n.routeCheck(c.Object, false); err != nil {
+				return nil, err
+			}
+		}
+		results, err := n.rt.InvokeTransaction(req.calls)
+		if err != nil {
+			return nil, err
+		}
+		return encodeTxResp(results), nil
+	})
+
+	n.srv.Handle(MethodCreate, func(body []byte) ([]byte, error) {
+		req, err := decodeCreateReq(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.routeCheck(req.object, false); err != nil {
+			return nil, err
+		}
+		return nil, n.rt.CreateObject(req.typeName, req.object)
+	})
+
+	n.srv.Handle(MethodDelete, func(body []byte) ([]byte, error) {
+		obj, _, err := wire.Uvarint(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.routeCheck(core.ObjectID(obj), false); err != nil {
+			return nil, err
+		}
+		return nil, n.rt.DeleteObject(core.ObjectID(obj))
+	})
+
+	n.srv.Handle(MethodRegisterType, func(body []byte) ([]byte, error) {
+		t, err := core.DecodeObjectType(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.rt.RegisterType(t)
+	})
+
+	n.srv.Handle(MethodSetDirectory, func(body []byte) ([]byte, error) {
+		d, err := shard.Load(body)
+		if err != nil {
+			return nil, err
+		}
+		n.SetDirectory(d)
+		return nil, nil
+	})
+
+	n.srv.Handle(MethodMigrate, func(body []byte) ([]byte, error) {
+		req, err := decodeMigrateReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.migrateObject(req)
+	})
+
+	n.srv.Handle(MethodIngest, func(body []byte) ([]byte, error) {
+		req, err := decodeIngestReq(body)
+		if err != nil {
+			return nil, err
+		}
+		b := store.NewBatch()
+		for i := range req.keys {
+			b.Put(req.keys[i], req.values[i])
+		}
+		if err := n.rt.ApplyReplicated(req.object, b); err != nil {
+			return nil, err
+		}
+		// Fan the ingested state out to this group's backups so replica
+		// reads work immediately after the migration.
+		n.shipper.Ship(uint64(req.object), b) //nolint:errcheck // best effort
+		return nil, nil
+	})
+
+	n.srv.Handle(MethodHotObjects, func(body []byte) ([]byte, error) {
+		limit, _, err := wire.Uvarint(body)
+		if err != nil {
+			return nil, err
+		}
+		return encodeHotResp(n.rt.HotObjects(int(limit))), nil
+	})
+
+	n.srv.Handle(MethodStats, func(body []byte) ([]byte, error) {
+		inv, com := n.rt.Stats()
+		warm, cold := n.rt.PoolStats()
+		return []byte(fmt.Sprintf("addr=%s primary=%v invocations=%d commits=%d warm=%d cold=%d shipped=%d",
+			n.addr, n.isPrimary(), inv, com, warm, cold, n.shipper.Shipped())), nil
+	})
+}
+
+// migrateObject moves one microshard to another group: quiesce, copy,
+// redirect, delete (paper §4.2: objects "can be migrated by themselves
+// without causing disruption to computation involving other objects").
+func (n *Node) migrateObject(req *migrateReq) error {
+	release, err := n.rt.LockObject(req.object)
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	// Copy the object's key range from a consistent snapshot.
+	var ing ingestReq
+	ing.object = req.object
+	snap := n.db.GetSnapshot()
+	it, err := snap.NewIterator()
+	if err != nil {
+		snap.Release()
+		return err
+	}
+	prefix := core.ObjectPrefix(req.object)
+	end := core.ObjectRangeEnd(req.object)
+	for it.Seek(prefix); it.Valid(); it.Next() {
+		k := it.Key()
+		if end != nil && string(k) >= string(end) {
+			break
+		}
+		ing.keys = append(ing.keys, append([]byte(nil), k...))
+		ing.values = append(ing.values, append([]byte(nil), it.Value()...))
+	}
+	iterErr := it.Error()
+	it.Close()
+	snap.Release()
+	if iterErr != nil {
+		return iterErr
+	}
+	if len(ing.keys) == 0 {
+		return fmt.Errorf("cluster: migrate: %s has no state here", req.object)
+	}
+
+	// Install at the destination primary, which fans the state out to its
+	// own backups.
+	if _, err := n.pool.Call(req.destPrimary, MethodIngest, encodeIngestReq(&ing)); err != nil {
+		return fmt.Errorf("cluster: migrate ingest: %w", err)
+	}
+
+	// Record the new placement.
+	if n.coord != nil {
+		if err := n.coord.SetOverride(uint64(req.object), req.destGroup); err != nil {
+			return err
+		}
+	} else {
+		d := n.dir.Load()
+		d.SetOverride(uint64(req.object), req.destGroup)
+	}
+
+	// Drop the local copy through the runtime so cached type bindings and
+	// result-cache entries are invalidated; queued invocations then fail
+	// their existence re-check instead of resurrecting the object here.
+	del := store.NewBatch()
+	for _, k := range ing.keys {
+		del.Delete(k)
+	}
+	if err := n.rt.ApplyReplicated(req.object, del); err != nil {
+		return err
+	}
+	n.shipper.Ship(uint64(req.object), del) //nolint:errcheck // best effort
+	return nil
+}
+
+// routerInvoker routes a nested cross-object invocation: objects homed on
+// this node run locally; everything else goes to the responsible primary
+// over RPC (the aggregated design's only extra hop).
+type routerInvoker struct{ node *Node }
+
+func (r *routerInvoker) Invoke(id core.ObjectID, method string, args [][]byte) ([]byte, error) {
+	return r.InvokeDepth(id, method, args, 0)
+}
+
+// InvokeDepth preserves nested-call depth on local hops; remote hops reset
+// it (bounded by RPC timeouts instead).
+func (r *routerInvoker) InvokeDepth(id core.ObjectID, method string, args [][]byte, depth int) ([]byte, error) {
+	n := r.node
+	d := n.dir.Load()
+	g, err := d.Lookup(uint64(id))
+	if err != nil || g.Primary == n.addr || g.Primary == "" {
+		return n.rt.InvokeDepth(id, method, args, depth)
+	}
+	n.forwarded.Add(1)
+	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args})
+	return n.pool.Call(g.Primary, MethodInvoke, body)
+}

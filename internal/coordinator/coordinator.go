@@ -1,0 +1,403 @@
+// Package coordinator implements LambdaStore's cluster-wide coordination
+// service (paper §4.2.1): a Paxos-replicated configuration state machine
+// recording replica groups, object migrations, and node liveness. If a node
+// fails, the coordinator reconfigures the affected shards (promoting a
+// backup to primary) and participants pick up the new configuration and
+// reissue requests. The coordinator is only involved during
+// reconfigurations, so it is never on the invocation fast path.
+package coordinator
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lambdastore/internal/paxos"
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/shard"
+	"lambdastore/internal/wire"
+)
+
+// Command kinds in the replicated log.
+const (
+	cmdSetGroup = iota + 1
+	cmdPromote
+	cmdSetOverride
+	cmdClearOverride
+	cmdNoop
+)
+
+// Command is one replicated configuration change.
+type Command struct {
+	Kind uint8
+
+	// cmdSetGroup
+	Group shard.Group
+
+	// cmdPromote: promote NewPrimary in group GroupID if its primary is
+	// still FailedPrimary (idempotence under duplicate proposals).
+	GroupID       uint64
+	FailedPrimary string
+	NewPrimary    string
+
+	// cmdSetOverride / cmdClearOverride
+	Object      uint64
+	TargetGroup uint64
+}
+
+// Encode serializes the command.
+func (c *Command) Encode() []byte {
+	var b []byte
+	b = append(b, c.Kind)
+	b = wire.AppendUvarint(b, c.Group.ID)
+	b = wire.AppendString(b, c.Group.Primary)
+	b = wire.AppendUvarint(b, uint64(len(c.Group.Backups)))
+	for _, bk := range c.Group.Backups {
+		b = wire.AppendString(b, bk)
+	}
+	b = wire.AppendUvarint(b, c.GroupID)
+	b = wire.AppendString(b, c.FailedPrimary)
+	b = wire.AppendString(b, c.NewPrimary)
+	b = wire.AppendUvarint(b, c.Object)
+	b = wire.AppendUvarint(b, c.TargetGroup)
+	return b
+}
+
+// DecodeCommand parses a command.
+func DecodeCommand(data []byte) (*Command, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("coordinator: empty command")
+	}
+	c := &Command{Kind: data[0]}
+	rest := data[1:]
+	var err error
+	if c.Group.ID, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if c.Group.Primary, rest, err = wire.String(rest); err != nil {
+		return nil, err
+	}
+	var nb uint64
+	if nb, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nb; i++ {
+		var bk string
+		if bk, rest, err = wire.String(rest); err != nil {
+			return nil, err
+		}
+		c.Group.Backups = append(c.Group.Backups, bk)
+	}
+	if c.GroupID, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if c.FailedPrimary, rest, err = wire.String(rest); err != nil {
+		return nil, err
+	}
+	if c.NewPrimary, rest, err = wire.String(rest); err != nil {
+		return nil, err
+	}
+	if c.Object, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if c.TargetGroup, _, err = wire.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Options tunes a coordinator replica.
+type Options struct {
+	// HeartbeatTimeout is how long a storage node may stay silent before
+	// it is declared failed (default 2s).
+	HeartbeatTimeout time.Duration
+	// CheckInterval is the failure-detector sweep period (default 500ms).
+	CheckInterval time.Duration
+	// DisableFailureDetector turns off automatic promotion (tests drive
+	// promotions manually).
+	DisableFailureDetector bool
+}
+
+// Service is one coordinator replica.
+type Service struct {
+	opts Options
+	node *paxos.Node
+
+	mu       sync.Mutex
+	dir      *shard.Directory
+	lastSeen map[string]time.Time
+	applied  uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a coordinator replica with Paxos identity id among peers,
+// using trans for consensus traffic. Call Start after registering the
+// transport.
+func New(id uint64, peers []uint64, trans paxos.Transport, opts Options) *Service {
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 2 * time.Second
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = 500 * time.Millisecond
+	}
+	s := &Service{
+		opts:     opts,
+		dir:      shard.NewDirectory(nil),
+		lastSeen: make(map[string]time.Time),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.node = paxos.NewNode(id, peers, trans, s.apply)
+	return s
+}
+
+// Node exposes the Paxos participant (for transport registration).
+func (s *Service) Node() *paxos.Node { return s.node }
+
+// SetTransport installs the consensus transport (used when replica
+// addresses are only known after all servers are listening).
+func (s *Service) SetTransport(t paxos.Transport) { s.node.SetTransport(t) }
+
+// Start launches the failure detector.
+func (s *Service) Start() {
+	go s.detectLoop()
+}
+
+// Close stops background work.
+func (s *Service) Close() {
+	close(s.stop)
+	<-s.done
+	s.node.Close()
+}
+
+// apply is the paxos learner callback: commands mutate the directory in
+// log order on every replica identically.
+func (s *Service) apply(slot uint64, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied++
+	if len(value) == 0 {
+		return // no-op filler from catch-up
+	}
+	c, err := DecodeCommand(value)
+	if err != nil {
+		return // corrupt commands are ignored deterministically
+	}
+	switch c.Kind {
+	case cmdSetGroup:
+		s.dir.SetGroup(c.Group)
+	case cmdPromote:
+		groups := s.dir.Groups()
+		for _, g := range groups {
+			if g.ID == c.GroupID && g.Primary == c.FailedPrimary {
+				s.dir.Promote(c.GroupID, c.NewPrimary)
+			}
+		}
+	case cmdSetOverride:
+		s.dir.SetOverride(c.Object, c.TargetGroup)
+	case cmdClearOverride:
+		s.dir.ClearOverride(c.Object)
+	}
+}
+
+// ProposeCommand replicates a configuration change through Paxos.
+func (s *Service) ProposeCommand(c *Command) error {
+	_, err := s.node.ProposeMine(c.Encode())
+	return err
+}
+
+// Directory returns a snapshot copy of the current configuration.
+func (s *Service) Directory() *shard.Directory {
+	s.mu.Lock()
+	snap := s.dir.Snapshot()
+	s.mu.Unlock()
+	d, err := shard.Load(snap)
+	if err != nil {
+		return shard.NewDirectory(nil)
+	}
+	return d
+}
+
+// Heartbeat records liveness of a storage node.
+func (s *Service) Heartbeat(addr string) {
+	s.mu.Lock()
+	s.lastSeen[addr] = time.Now()
+	s.mu.Unlock()
+}
+
+// detectLoop sweeps for dead primaries and proposes promotions. Promotion
+// commands are idempotent (guarded by FailedPrimary), so replicas racing to
+// propose is harmless.
+func (s *Service) detectLoop() {
+	defer close(s.done)
+	if s.opts.DisableFailureDetector {
+		<-s.stop
+		return
+	}
+	ticker := time.NewTicker(s.opts.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.sweep()
+	}
+}
+
+// sweep finds groups whose primary has missed heartbeats and promotes the
+// freshest live backup.
+func (s *Service) sweep() {
+	s.mu.Lock()
+	now := time.Now()
+	groups := s.dir.Groups()
+	dead := func(addr string) bool {
+		seen, ok := s.lastSeen[addr]
+		return ok && now.Sub(seen) > s.opts.HeartbeatTimeout
+	}
+	type promotion struct{ c Command }
+	var promotions []promotion
+	for _, g := range groups {
+		if !dead(g.Primary) {
+			continue
+		}
+		for _, b := range g.Backups {
+			if !dead(b) {
+				promotions = append(promotions, promotion{c: Command{
+					Kind:          cmdPromote,
+					GroupID:       g.ID,
+					FailedPrimary: g.Primary,
+					NewPrimary:    b,
+				}})
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range promotions {
+		// Best effort: a lost proposal is retried next sweep.
+		_ = s.ProposeCommand(&p.c)
+	}
+}
+
+// --- RPC surface ---
+
+// RPC method names.
+const (
+	MethodGetConfig = "coord.getconfig"
+	MethodHeartbeat = "coord.heartbeat"
+	MethodSetGroup  = "coord.setgroup"
+	MethodPromote   = "coord.promote"
+	MethodMigrate   = "coord.migrate"
+)
+
+// RegisterServer exposes the coordinator's client API and its Paxos roles
+// on an RPC server.
+func RegisterServer(srv *rpc.Server, s *Service) {
+	paxos.RegisterServer(srv, s.node)
+	srv.Handle(MethodGetConfig, func(body []byte) ([]byte, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.dir.Snapshot(), nil
+	})
+	srv.Handle(MethodHeartbeat, func(body []byte) ([]byte, error) {
+		addr, _, err := wire.String(body)
+		if err != nil {
+			return nil, err
+		}
+		s.Heartbeat(addr)
+		return nil, nil
+	})
+	srv.Handle(MethodSetGroup, func(body []byte) ([]byte, error) {
+		c, err := DecodeCommand(body)
+		if err != nil {
+			return nil, err
+		}
+		c.Kind = cmdSetGroup
+		return nil, s.ProposeCommand(c)
+	})
+	srv.Handle(MethodPromote, func(body []byte) ([]byte, error) {
+		c, err := DecodeCommand(body)
+		if err != nil {
+			return nil, err
+		}
+		c.Kind = cmdPromote
+		return nil, s.ProposeCommand(c)
+	})
+	srv.Handle(MethodMigrate, func(body []byte) ([]byte, error) {
+		c, err := DecodeCommand(body)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind != cmdClearOverride {
+			c.Kind = cmdSetOverride
+		}
+		return nil, s.ProposeCommand(c)
+	})
+}
+
+// Client is a thin RPC client for the coordinator service.
+type Client struct {
+	pool  *rpc.Pool
+	addrs []string
+}
+
+// NewClient builds a client that tries coordinator replicas in order.
+func NewClient(pool *rpc.Pool, addrs []string) *Client {
+	return &Client{pool: pool, addrs: append([]string(nil), addrs...)}
+}
+
+// call tries each replica until one answers.
+func (c *Client) call(method string, body []byte) ([]byte, error) {
+	var lastErr error
+	for _, addr := range c.addrs {
+		resp, err := c.pool.Call(addr, method, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("coordinator: all replicas failed: %w", lastErr)
+}
+
+// GetConfig fetches the current directory.
+func (c *Client) GetConfig() (*shard.Directory, error) {
+	body, err := c.call(MethodGetConfig, nil)
+	if err != nil {
+		return nil, err
+	}
+	return shard.Load(body)
+}
+
+// Heartbeat reports node addr as alive to every reachable replica (each
+// replica runs its own failure detector).
+func (c *Client) Heartbeat(addr string) {
+	body := wire.AppendString(nil, addr)
+	for _, a := range c.addrs {
+		c.pool.Call(a, MethodHeartbeat, body) //nolint:errcheck // best effort
+	}
+}
+
+// SetGroup installs a replica group.
+func (c *Client) SetGroup(g shard.Group) error {
+	cmd := Command{Kind: cmdSetGroup, Group: g}
+	_, err := c.call(MethodSetGroup, cmd.Encode())
+	return err
+}
+
+// Promote requests a manual failover.
+func (c *Client) Promote(gid uint64, failedPrimary, newPrimary string) error {
+	cmd := Command{Kind: cmdPromote, GroupID: gid, FailedPrimary: failedPrimary, NewPrimary: newPrimary}
+	_, err := c.call(MethodPromote, cmd.Encode())
+	return err
+}
+
+// SetOverride records a migrated object's new group.
+func (c *Client) SetOverride(object, group uint64) error {
+	cmd := Command{Kind: cmdSetOverride, Object: object, TargetGroup: group}
+	_, err := c.call(MethodMigrate, cmd.Encode())
+	return err
+}

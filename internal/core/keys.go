@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Key-space layout inside the storage engine. Every key of an object is
+// prefixed by 'o' + its 8-byte big-endian ID, so an object occupies one
+// contiguous key range — this is what makes objects microshards (paper
+// §4.2): a single range scan captures all of an object's state for
+// migration, and range deletes remove it.
+//
+//	'T' <typeName>                          object type record
+//	'o' <id8> 0x00                          object header (type name)
+//	'o' <id8> 0x01 <field>                  value field
+//	'o' <id8> 0x02 <field> 0x00 <key>       map entry
+//	'o' <id8> 0x03 <field> 0x00 <idx8>      list element
+//	'o' <id8> 0x04 <field>                  list length (u64 LE)
+//	'o' <id8> 0x05                          object version counter (u64 LE)
+//
+// Field names may not contain NUL (enforced at type registration), so the
+// 0x00 separator is unambiguous.
+const (
+	keyPrefixType   = 'T'
+	keyPrefixObject = 'o'
+
+	subHeader  = 0x00
+	subValue   = 0x01
+	subMapEnt  = 0x02
+	subListEnt = 0x03
+	subListLen = 0x04
+	subVersion = 0x05
+)
+
+// typeKey returns the key of a type record.
+func typeKey(name string) []byte {
+	return append([]byte{keyPrefixType}, name...)
+}
+
+// objectPrefix returns the prefix covering all keys of an object.
+func objectPrefix(id ObjectID) []byte {
+	b := make([]byte, 9, 24)
+	b[0] = keyPrefixObject
+	binary.BigEndian.PutUint64(b[1:], uint64(id))
+	return b
+}
+
+// headerKey returns the object existence/type record key.
+func headerKey(id ObjectID) []byte {
+	return append(objectPrefix(id), subHeader)
+}
+
+// versionKey returns the object's commit-version counter key.
+func versionKey(id ObjectID) []byte {
+	return append(objectPrefix(id), subVersion)
+}
+
+// valueKey returns the key of a value field.
+func valueKey(id ObjectID, field string) []byte {
+	b := append(objectPrefix(id), subValue)
+	return append(b, field...)
+}
+
+// mapKey returns the key of one map entry.
+func mapKey(id ObjectID, field string, key []byte) []byte {
+	b := append(objectPrefix(id), subMapEnt)
+	b = append(b, field...)
+	b = append(b, 0)
+	return append(b, key...)
+}
+
+// mapPrefix returns the prefix of all entries of a map field.
+func mapPrefix(id ObjectID, field string) []byte {
+	b := append(objectPrefix(id), subMapEnt)
+	b = append(b, field...)
+	return append(b, 0)
+}
+
+// listEntryKey returns the key of list element idx.
+func listEntryKey(id ObjectID, field string, idx uint64) []byte {
+	b := append(objectPrefix(id), subListEnt)
+	b = append(b, field...)
+	b = append(b, 0)
+	var ib [8]byte
+	binary.BigEndian.PutUint64(ib[:], idx)
+	return append(b, ib[:]...)
+}
+
+// listLenKey returns the key of a list field's length counter.
+func listLenKey(id ObjectID, field string) []byte {
+	b := append(objectPrefix(id), subListLen)
+	return append(b, field...)
+}
+
+// encodeU64 renders a counter value.
+func encodeU64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// decodeU64 parses a counter value; missing/short values read as 0.
+func decodeU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil if the prefix is all 0xff.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// Exported key builders: the disaggregated baseline's storage layer shares
+// the aggregated design's on-disk layout (the paper's baseline "uses our
+// prototype as its storage layer"), so both read and write identical keys.
+
+// TypeRecordKey returns the key persisting an object type definition.
+func TypeRecordKey(name string) []byte { return typeKey(name) }
+
+// HeaderKey returns an object's existence/type record key.
+func HeaderKey(id ObjectID) []byte { return headerKey(id) }
+
+// VersionKey returns an object's commit-version counter key.
+func VersionKey(id ObjectID) []byte { return versionKey(id) }
+
+// ValueFieldKey returns the key of a value field.
+func ValueFieldKey(id ObjectID, field string) []byte { return valueKey(id, field) }
+
+// MapEntryKey returns the key of one map entry.
+func MapEntryKey(id ObjectID, field string, key []byte) []byte { return mapKey(id, field, key) }
+
+// MapFieldPrefix returns the prefix of all entries of a map field.
+func MapFieldPrefix(id ObjectID, field string) []byte { return mapPrefix(id, field) }
+
+// ListEntryKey returns the key of list element idx.
+func ListEntryKey(id ObjectID, field string, idx uint64) []byte { return listEntryKey(id, field, idx) }
+
+// ListLenKey returns the key of a list field's length counter.
+func ListLenKey(id ObjectID, field string) []byte { return listLenKey(id, field) }
+
+// EncodeU64 renders a list-length counter value.
+func EncodeU64(v uint64) []byte { return encodeU64(v) }
+
+// DecodeU64 parses a list-length counter value.
+func DecodeU64(b []byte) uint64 { return decodeU64(b) }
+
+// ObjectPrefix returns the key prefix covering all of an object's state —
+// the microshard boundary used by migration and deletion.
+func ObjectPrefix(id ObjectID) []byte { return objectPrefix(id) }
+
+// ObjectRangeEnd returns the exclusive upper bound of an object's key range.
+func ObjectRangeEnd(id ObjectID) []byte { return prefixEnd(objectPrefix(id)) }
+
+// parseObjectID extracts the object ID from any object key.
+func parseObjectID(key []byte) (ObjectID, error) {
+	if len(key) < 9 || key[0] != keyPrefixObject {
+		return 0, fmt.Errorf("core: not an object key: %q", key)
+	}
+	return ObjectID(binary.BigEndian.Uint64(key[1:9])), nil
+}

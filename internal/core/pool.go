@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+
+	"lambdastore/internal/vm"
+)
+
+// instancePool recycles VM instances per module. A warm invocation pops a
+// pooled instance and Resets it (cheap: re-image memory); a cold one pays
+// full instantiation. The distinction mirrors serverless warm vs cold
+// starts (§2.1), and the pool exports counters so the Table-1 benchmark can
+// report both paths.
+type instancePool struct {
+	mu    sync.Mutex
+	idle  map[*vm.Module][]*vm.Instance
+	hosts *vm.HostTable
+	fuel  int64
+
+	warm uint64
+	cold uint64
+}
+
+func newInstancePool(hosts *vm.HostTable, fuel int64) *instancePool {
+	return &instancePool{
+		idle:  make(map[*vm.Module][]*vm.Instance),
+		hosts: hosts,
+		fuel:  fuel,
+	}
+}
+
+// get returns a ready instance for module.
+func (p *instancePool) get(module *vm.Module) (*vm.Instance, error) {
+	p.mu.Lock()
+	list := p.idle[module]
+	if n := len(list); n > 0 {
+		inst := list[n-1]
+		p.idle[module] = list[:n-1]
+		p.warm++
+		p.mu.Unlock()
+		inst.Reset(p.fuel)
+		return inst, nil
+	}
+	p.cold++
+	p.mu.Unlock()
+	return vm.NewInstance(module, p.hosts, p.fuel)
+}
+
+// put returns an instance for reuse.
+func (p *instancePool) put(module *vm.Module, inst *vm.Instance) {
+	inst.Ctx = nil
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	const maxIdlePerModule = 64
+	if len(p.idle[module]) < maxIdlePerModule {
+		p.idle[module] = append(p.idle[module], inst)
+	}
+}
+
+// stats returns (warm, cold) start counts.
+func (p *instancePool) stats() (warm, cold uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.warm, p.cold
+}
+
+// drop empties the pool (used when a type is replaced).
+func (p *instancePool) drop(module *vm.Module) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.idle, module)
+}

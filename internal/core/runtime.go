@@ -1,0 +1,520 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lambdastore/internal/cache"
+	"lambdastore/internal/sched"
+	"lambdastore/internal/store"
+	"lambdastore/internal/vm"
+)
+
+// Invoker routes a cross-object invocation. The Runtime itself is the
+// single-node Invoker; cluster deployments install a router that forwards
+// to the shard's primary over RPC.
+type Invoker interface {
+	Invoke(id ObjectID, method string, args [][]byte) ([]byte, error)
+}
+
+// CommitHook observes every committed mutating invocation: the object, the
+// store sequence assigned to the first record of the write-set, and the
+// write-set itself. Primary-backup replication ships these to backups in
+// sequence order.
+type CommitHook func(obj ObjectID, seq uint64, writeSet *store.Batch)
+
+// Options configures a Runtime.
+type Options struct {
+	// Fuel is the execution budget per method invocation; <=0 means
+	// unmetered.
+	Fuel int64
+	// Cache enables the consistent result cache with the given capacity;
+	// 0 disables caching.
+	CacheEntries int
+	// Clock supplies the time host call; nil means time.Now-based.
+	Clock func() int64
+	// Invoker routes cross-object invocations; nil routes everything to
+	// this runtime (single-node).
+	Invoker Invoker
+	// OnCommit, if set, observes committed write-sets (for replication).
+	OnCommit CommitHook
+	// LockTimeout bounds scheduler admission (default 10s).
+	LockTimeout time.Duration
+	// DisableScheduler removes per-object admission control (ablation A4
+	// uses this to show why the combined scheduler/concurrency-control
+	// matters; with it disabled, invocation isolation is lost).
+	DisableScheduler bool
+}
+
+// DefaultFuel is the per-invocation budget used by servers: generous for
+// real methods, tight enough to stop runaway loops quickly.
+const DefaultFuel = 16 << 20
+
+// Runtime executes LambdaObject method invocations against a storage
+// engine. It is safe for concurrent use.
+type Runtime struct {
+	db    *store.DB
+	opts  Options
+	hosts *vm.HostTable
+	pool  *instancePool
+	locks *sched.Table
+	cache *cache.Cache
+
+	mu    sync.RWMutex
+	types map[string]*ObjectType
+	// objTypes caches object -> type bindings (immutable once created).
+	objTypes sync.Map // ObjectID -> *ObjectType
+
+	invocations uint64
+	commits     uint64
+	statsMu     sync.Mutex
+	// perObject counts invocations per object — the load signal behind
+	// hot-microshard rebalancing (the paper's elasticity future work).
+	perObject map[ObjectID]uint64
+}
+
+// NewRuntime builds a runtime on db, loading persisted types.
+func NewRuntime(db *store.DB, opts Options) (*Runtime, error) {
+	rt := &Runtime{
+		db:        db,
+		opts:      opts,
+		types:     make(map[string]*ObjectType),
+		perObject: make(map[ObjectID]uint64),
+	}
+	if opts.Fuel == 0 {
+		rt.opts.Fuel = DefaultFuel
+	}
+	rt.hosts = newHostTable()
+	rt.pool = newInstancePool(rt.hosts, rt.opts.Fuel)
+	rt.locks = sched.NewTable()
+	if opts.LockTimeout > 0 {
+		rt.locks.Timeout = opts.LockTimeout
+	}
+	if opts.CacheEntries > 0 {
+		rt.cache = cache.New(opts.CacheEntries)
+	}
+	if rt.opts.Clock == nil {
+		rt.opts.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	if rt.opts.Invoker == nil {
+		rt.opts.Invoker = rt
+	}
+	if err := rt.loadTypes(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// DB exposes the underlying store (replication and migration need raw
+// access).
+func (rt *Runtime) DB() *store.DB { return rt.db }
+
+// Cache returns the result cache, or nil if disabled.
+func (rt *Runtime) Cache() *cache.Cache { return rt.cache }
+
+// PoolStats returns (warm, cold) instance-start counts.
+func (rt *Runtime) PoolStats() (warm, cold uint64) { return rt.pool.stats() }
+
+// loadTypes reads all persisted type records.
+func (rt *Runtime) loadTypes() error {
+	it, err := rt.db.NewIterator()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	prefix := []byte{keyPrefixType}
+	for it.Seek(prefix); it.Valid(); it.Next() {
+		k := it.Key()
+		if len(k) == 0 || k[0] != keyPrefixType {
+			break
+		}
+		t, err := DecodeObjectType(it.Value())
+		if err != nil {
+			return fmt.Errorf("core: corrupt type record %q: %w", k, err)
+		}
+		rt.types[t.Name] = t
+	}
+	return it.Error()
+}
+
+// RegisterType persists and installs an object type. Re-registering a name
+// replaces the previous definition (a deployment of new code).
+func (rt *Runtime) RegisterType(t *ObjectType) error {
+	if err := t.init(); err != nil {
+		return err
+	}
+	if err := rt.db.Put(typeKey(t.Name), t.Encode()); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	if old, ok := rt.types[t.Name]; ok && old.Module != t.Module {
+		rt.pool.drop(old.Module)
+	}
+	rt.types[t.Name] = t
+	rt.mu.Unlock()
+	// Invalidate the object->type bindings; they are re-resolved lazily.
+	rt.objTypes.Range(func(k, v any) bool {
+		if v.(*ObjectType).Name == t.Name {
+			rt.objTypes.Delete(k)
+		}
+		return true
+	})
+	return nil
+}
+
+// Type returns the installed type by name.
+func (rt *Runtime) Type(name string) (*ObjectType, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	t, ok := rt.types[name]
+	return t, ok
+}
+
+// TypeNames lists installed types.
+func (rt *Runtime) TypeNames() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	names := make([]string, 0, len(rt.types))
+	for n := range rt.types {
+		names = append(names, n)
+	}
+	return names
+}
+
+// CreateObject instantiates an object of the named type.
+func (rt *Runtime) CreateObject(typeName string, id ObjectID) error {
+	rt.mu.RLock()
+	_, ok := rt.types[typeName]
+	rt.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchType, typeName)
+	}
+	release, err := rt.locks.Acquire(uint64(id), sched.Write)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if _, err := rt.db.Get(headerKey(id)); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, id)
+	} else if !errors.Is(err, store.ErrNotFound) {
+		return err
+	}
+	b := store.NewBatch()
+	b.Put(headerKey(id), []byte(typeName))
+	b.Put(versionKey(id), encodeU64(0))
+	if err := rt.db.Write(b); err != nil {
+		return err
+	}
+	rt.notifyCommit(id, b)
+	return nil
+}
+
+// DeleteObject removes an object and all its state.
+func (rt *Runtime) DeleteObject(id ObjectID) error {
+	release, err := rt.locks.Acquire(uint64(id), sched.Write)
+	if err != nil {
+		return err
+	}
+	defer release()
+	b := store.NewBatch()
+	if err := rt.forEachObjectKey(id, func(key []byte) {
+		b.Delete(append([]byte(nil), key...))
+	}); err != nil {
+		return err
+	}
+	if b.Empty() {
+		return fmt.Errorf("%w: %s", ErrNoSuchObject, id)
+	}
+	if err := rt.db.Write(b); err != nil {
+		return err
+	}
+	rt.objTypes.Delete(id)
+	if rt.cache != nil {
+		rt.cache.InvalidateObject(uint64(id))
+	}
+	rt.notifyCommit(id, b)
+	return nil
+}
+
+// forEachObjectKey visits every live key of an object.
+func (rt *Runtime) forEachObjectKey(id ObjectID, fn func(key []byte)) error {
+	it, err := rt.db.NewIterator()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	prefix := objectPrefix(id)
+	for it.Seek(prefix); it.Valid(); it.Next() {
+		k := it.Key()
+		if len(k) < len(prefix) || string(k[:len(prefix)]) != string(prefix) {
+			break
+		}
+		fn(k)
+	}
+	return it.Error()
+}
+
+// ObjectExists reports whether id exists.
+func (rt *Runtime) ObjectExists(id ObjectID) (bool, error) {
+	_, err := rt.db.Get(headerKey(id))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, store.ErrNotFound) {
+		return false, nil
+	}
+	return false, err
+}
+
+// typeOf resolves an object's type, caching the binding.
+func (rt *Runtime) typeOf(id ObjectID) (*ObjectType, error) {
+	if v, ok := rt.objTypes.Load(id); ok {
+		return v.(*ObjectType), nil
+	}
+	name, err := rt.db.Get(headerKey(id))
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchObject, id)
+		}
+		return nil, err
+	}
+	rt.mu.RLock()
+	t, ok := rt.types[string(name)]
+	rt.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (referenced by %s)", ErrNoSuchType, name, id)
+	}
+	rt.objTypes.Store(id, t)
+	return t, nil
+}
+
+// TypeOf returns the name of an object's type.
+func (rt *Runtime) TypeOf(id ObjectID) (string, error) {
+	t, err := rt.typeOf(id)
+	if err != nil {
+		return "", err
+	}
+	return t.Name, nil
+}
+
+// ObjectVersion returns the object's committed version counter (number of
+// committed mutating invocations).
+func (rt *Runtime) ObjectVersion(id ObjectID) (uint64, error) {
+	v, err := rt.db.Get(versionKey(id))
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return 0, fmt.Errorf("%w: %s", ErrNoSuchObject, id)
+		}
+		return 0, err
+	}
+	return decodeU64(v), nil
+}
+
+// LockObject takes an exclusive admission on an object, pausing its
+// invocations; migration uses it to quiesce a microshard while copying it.
+func (rt *Runtime) LockObject(id ObjectID) (release func(), err error) {
+	return rt.locks.Acquire(uint64(id), sched.Write)
+}
+
+// DepthInvoker is implemented by invokers that can carry the nested-call
+// depth across local hops, bounding synchronous recursion. Remote hops
+// reset the depth (the RPC boundary bounds them with timeouts instead).
+type DepthInvoker interface {
+	InvokeDepth(id ObjectID, method string, args [][]byte, depth int) ([]byte, error)
+}
+
+// Invoke runs a method on an object with invocation linearizability. It is
+// the entry point for client jobs and for cross-object calls routed here.
+func (rt *Runtime) Invoke(id ObjectID, method string, args [][]byte) ([]byte, error) {
+	return rt.InvokeDepth(id, method, args, 0)
+}
+
+// InvokeDepth is Invoke with an explicit nested-call depth.
+func (rt *Runtime) InvokeDepth(id ObjectID, method string, args [][]byte, depth int) ([]byte, error) {
+	typ, err := rt.typeOf(id)
+	if err != nil {
+		return nil, err
+	}
+	mi, ok := typ.Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, typ.Name, method)
+	}
+
+	mode := sched.Write
+	if mi.ReadOnly {
+		mode = sched.Read
+	}
+	iv := &invocation{
+		rt:     rt,
+		obj:    id,
+		typ:    typ,
+		method: mi,
+		args:   args,
+		depth:  depth,
+		mode:   mode,
+	}
+	// Admit before the cache lookup so validation reads cannot interleave
+	// with a writer on this object.
+	if err := iv.ensureLocked(); err != nil {
+		return nil, err
+	}
+
+	// Consistent result cache: hit only if every recorded read dependency
+	// still matches the committed state (§4.2.2).
+	cacheable := mi.ReadOnly && mi.Deterministic && rt.cache != nil
+	var argsHash uint64
+	if cacheable {
+		argsHash = cache.HashArgs(method, args)
+		if result, ok := rt.cache.Lookup(uint64(id), method, argsHash, rt.committedHash); ok {
+			iv.unlock()
+			return result, nil
+		}
+	}
+
+	iv.txn = newTxn(rt.db, cacheable)
+	defer iv.txn.close()
+
+	result, err := iv.run()
+	if err != nil {
+		return nil, err
+	}
+
+	if cacheable && !iv.nocache {
+		rt.cache.Store(uint64(id), method, argsHash, result, iv.txn.readSet)
+	}
+	return result, nil
+}
+
+// dispatch routes a nested invocation through the configured Invoker,
+// preserving depth where the invoker supports it.
+func (rt *Runtime) dispatch(id ObjectID, method string, args [][]byte, depth int) ([]byte, error) {
+	if di, ok := rt.opts.Invoker.(DepthInvoker); ok {
+		return di.InvokeDepth(id, method, args, depth)
+	}
+	return rt.opts.Invoker.Invoke(id, method, args)
+}
+
+// committedHash fingerprints the current committed value of key (cache
+// validation).
+func (rt *Runtime) committedHash(key []byte) uint64 {
+	v, err := rt.db.Get(key)
+	if err != nil {
+		return cache.HashValue(nil, false)
+	}
+	return cache.HashValue(v, true)
+}
+
+// notifyCommit invalidates caches and fires the replication hook.
+func (rt *Runtime) notifyCommit(id ObjectID, b *store.Batch) {
+	rt.statsMu.Lock()
+	rt.commits++
+	rt.statsMu.Unlock()
+	if rt.cache != nil {
+		rt.cache.InvalidateObject(uint64(id))
+	}
+	if rt.opts.OnCommit != nil {
+		rt.opts.OnCommit(id, b.Seq(), b)
+	}
+}
+
+// Stats returns cumulative invocation and commit counts.
+func (rt *Runtime) Stats() (invocations, commits uint64) {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	return rt.invocations, rt.commits
+}
+
+// HotObject is one entry of the per-object load ranking.
+type HotObject struct {
+	ID    ObjectID
+	Count uint64
+}
+
+// HotObjects returns the n most-invoked objects since the last reset —
+// the signal elasticity decisions are made from: because objects are
+// microshards, the hottest ones can be migrated individually.
+func (rt *Runtime) HotObjects(n int) []HotObject {
+	rt.statsMu.Lock()
+	out := make([]HotObject, 0, len(rt.perObject))
+	for id, c := range rt.perObject {
+		out = append(out, HotObject{ID: id, Count: c})
+	}
+	rt.statsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ResetHotStats clears the per-object load counters (start of a new
+// observation window).
+func (rt *Runtime) ResetHotStats() {
+	rt.statsMu.Lock()
+	rt.perObject = make(map[ObjectID]uint64)
+	rt.statsMu.Unlock()
+}
+
+// ApplyReplicated applies a write-set received from a primary, bypassing
+// method execution (the backup path of §4.2.1: "the results of the
+// computation are replicated").
+func (rt *Runtime) ApplyReplicated(id ObjectID, b *store.Batch) error {
+	if err := rt.db.Write(b); err != nil {
+		return err
+	}
+	if rt.cache != nil {
+		rt.cache.InvalidateObject(uint64(id))
+	}
+	// The write-set may have created or deleted the object; drop bindings.
+	rt.objTypes.Delete(id)
+	return nil
+}
+
+// --- direct state accessors (tools, tests, migration) ---
+
+// GetValueField reads a value field's committed state.
+func (rt *Runtime) GetValueField(id ObjectID, field string) ([]byte, error) {
+	v, err := rt.db.Get(valueKey(id, field))
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// GetMapEntry reads one map entry's committed state.
+func (rt *Runtime) GetMapEntry(id ObjectID, field string, key []byte) ([]byte, error) {
+	v, err := rt.db.Get(mapKey(id, field, key))
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// ListLen reads a list field's committed length.
+func (rt *Runtime) ListLen(id ObjectID, field string) (uint64, error) {
+	v, err := rt.db.Get(listLenKey(id, field))
+	if errors.Is(err, store.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return decodeU64(v), nil
+}
+
+// ListGet reads one committed list element.
+func (rt *Runtime) ListGet(id ObjectID, field string, idx uint64) ([]byte, error) {
+	v, err := rt.db.Get(listEntryKey(id, field, idx))
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}

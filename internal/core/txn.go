@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"lambdastore/internal/cache"
+	"lambdastore/internal/store"
+)
+
+// txn is an invocation's private view of its object's state: a write
+// buffer layered over a consistent storage snapshot. All mutations stay in
+// the buffer until commit, giving the atomicity and isolation halves of
+// invocation linearizability.
+type txn struct {
+	db   *store.DB
+	snap *store.Snapshot // created lazily on first read (after admission)
+
+	// writes maps key -> buffered write. A nil-value entry with del=true
+	// is a buffered delete.
+	writes map[string]bufferedWrite
+
+	// recordReads enables read-set capture for the consistent result
+	// cache. Only reads that fall through to the snapshot are recorded —
+	// cacheable methods are read-only, so every read falls through.
+	recordReads bool
+	readSet     []cache.ReadDep
+	readKeys    map[string]struct{}
+}
+
+type bufferedWrite struct {
+	value []byte
+	del   bool
+}
+
+// newTxn opens a transaction; the snapshot is taken lazily at the first
+// read so it always postdates the scheduler admission.
+func newTxn(db *store.DB, recordReads bool) *txn {
+	return &txn{
+		db:          db,
+		writes:      make(map[string]bufferedWrite),
+		recordReads: recordReads,
+		readKeys:    map[string]struct{}{},
+	}
+}
+
+// ensureSnap pins the read snapshot on first use.
+func (t *txn) ensureSnap() {
+	if t.snap == nil {
+		t.snap = t.db.GetSnapshot()
+	}
+}
+
+// close releases the snapshot. Idempotent.
+func (t *txn) close() {
+	if t.snap != nil {
+		t.snap.Release()
+		t.snap = nil
+	}
+}
+
+// get reads key: buffered writes win over the snapshot.
+func (t *txn) get(key []byte) (value []byte, present bool, err error) {
+	if w, ok := t.writes[string(key)]; ok {
+		if w.del {
+			return nil, false, nil
+		}
+		return w.value, true, nil
+	}
+	t.ensureSnap()
+	v, err := t.snap.Get(key)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			t.noteRead(key, nil, false)
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	t.noteRead(key, v, true)
+	return v, true, nil
+}
+
+// noteRead records a snapshot read in the read set (once per key).
+func (t *txn) noteRead(key, value []byte, present bool) {
+	if !t.recordReads {
+		return
+	}
+	if _, seen := t.readKeys[string(key)]; seen {
+		return
+	}
+	t.readKeys[string(key)] = struct{}{}
+	t.readSet = append(t.readSet, cache.ReadDep{
+		Key:       append([]byte(nil), key...),
+		ValueHash: cache.HashValue(value, present),
+	})
+}
+
+// put buffers a write.
+func (t *txn) put(key, value []byte) {
+	t.writes[string(key)] = bufferedWrite{value: append([]byte(nil), value...)}
+}
+
+// del buffers a delete.
+func (t *txn) del(key []byte) {
+	t.writes[string(key)] = bufferedWrite{del: true}
+}
+
+// dirty reports whether the transaction holds uncommitted writes.
+func (t *txn) dirty() bool { return len(t.writes) > 0 }
+
+// batch converts the buffered writes into an atomically appliable batch.
+func (t *txn) batch() *store.Batch {
+	b := store.NewBatch()
+	// Deterministic order makes replication streams and tests stable.
+	keys := make([]string, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w := t.writes[k]
+		if w.del {
+			b.Delete([]byte(k))
+		} else {
+			b.Put([]byte(k), w.value)
+		}
+	}
+	return b
+}
+
+// reset clears buffered writes and drops the snapshot; the remainder of
+// the method re-pins a fresh snapshot after it is re-admitted (paper §3.1
+// treats the remainder as a separate invocation context).
+func (t *txn) reset() {
+	t.close()
+	t.writes = make(map[string]bufferedWrite)
+}
+
+// scan iterates all live keys with the given prefix in order, merging
+// buffered writes with the snapshot. fn returns false to stop early.
+func (t *txn) scan(prefix []byte, fn func(key, value []byte) bool) error {
+	t.ensureSnap()
+	it, err := t.snap.NewIterator()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+
+	// Buffered keys under the prefix, sorted.
+	var buffered []string
+	for k := range t.writes {
+		if strings.HasPrefix(k, string(prefix)) {
+			buffered = append(buffered, k)
+		}
+	}
+	sort.Strings(buffered)
+	bi := 0
+
+	it.Seek(prefix)
+	for {
+		var snapKey []byte
+		if it.Valid() && strings.HasPrefix(string(it.Key()), string(prefix)) {
+			snapKey = it.Key()
+		}
+		var bufKey string
+		haveBuf := bi < len(buffered)
+		if haveBuf {
+			bufKey = buffered[bi]
+		}
+		switch {
+		case snapKey == nil && !haveBuf:
+			return it.Error()
+		case snapKey == nil || (haveBuf && bufKey <= string(snapKey)):
+			// Buffered entry wins (and shadows an equal snapshot key).
+			if haveBuf && snapKey != nil && bufKey == string(snapKey) {
+				it.Next()
+			}
+			w := t.writes[bufKey]
+			bi++
+			if !w.del {
+				if !fn([]byte(bufKey), w.value) {
+					return nil
+				}
+			}
+		default:
+			if !fn(snapKey, it.Value()) {
+				return nil
+			}
+			it.Next()
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package core implements the LambdaObjects programming model — the
+// paper's primary contribution. Data is encapsulated into objects
+// instantiated from object types; each type carries a set of fields
+// (opaque values, keyed collections, or lists) and a set of methods
+// compiled to untrusted bytecode (see internal/vm). Methods may only
+// access their own object's fields through a minimal key-value host API,
+// but may invoke methods of other objects, composing application logic as
+// a graph of function calls.
+//
+// The Runtime in this package executes invocations with *invocation
+// linearizability* (paper §3.1): each invocation's writes are buffered and
+// committed atomically at the end (atomicity), mutating invocations of an
+// object are serialized by the scheduler while its partial writes stay
+// invisible (isolation), and a successful invocation's writes are visible
+// to every subsequently issued invocation (real-time). Guarantees
+// deliberately do not span nested calls: invoking another function first
+// commits the caller's writes so far.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lambdastore/internal/vm"
+	"lambdastore/internal/wire"
+)
+
+// ObjectID identifies an object. IDs also define microshard boundaries: an
+// object's entire state is one contiguous key range (see keys.go), so it
+// can be migrated on its own.
+type ObjectID uint64
+
+func (id ObjectID) String() string { return fmt.Sprintf("obj-%d", uint64(id)) }
+
+// FieldKind enumerates the storage shapes a field can take (paper §3:
+// "fields, which are either a single opaque piece of data or a collection
+// of data entries indexed by a key").
+type FieldKind uint8
+
+const (
+	// FieldValue is a single opaque byte string.
+	FieldValue FieldKind = iota
+	// FieldMap is a collection of byte strings indexed by a byte-string key.
+	FieldMap
+	// FieldList is an append-ordered collection indexed by position.
+	FieldList
+)
+
+func (k FieldKind) String() string {
+	switch k {
+	case FieldValue:
+		return "value"
+	case FieldMap:
+		return "map"
+	case FieldList:
+		return "list"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FieldDef declares one field of an object type.
+type FieldDef struct {
+	Name string
+	Kind FieldKind
+}
+
+// MethodInfo declares one public method of an object type.
+type MethodInfo struct {
+	Name string
+	// ReadOnly methods never mutate the object; they take a shared
+	// scheduler admission and may execute at backup replicas.
+	ReadOnly bool
+	// Deterministic read-only methods are eligible for consistent result
+	// caching (§4.2.2). Methods that consult the clock, randomness, or
+	// other objects are automatically excluded at run time regardless of
+	// this flag.
+	Deterministic bool
+}
+
+// Errors of the object model.
+var (
+	ErrNoSuchType     = errors.New("core: no such object type")
+	ErrNoSuchObject   = errors.New("core: no such object")
+	ErrNoSuchMethod   = errors.New("core: no such method")
+	ErrNoSuchField    = errors.New("core: no such field")
+	ErrWrongKind      = errors.New("core: field kind mismatch")
+	ErrExists         = errors.New("core: already exists")
+	ErrReadOnly       = errors.New("core: mutation from read-only method")
+	ErrBadType        = errors.New("core: invalid object type")
+	ErrNotFound       = errors.New("core: not found")
+	ErrInvalidUpgrade = errors.New("core: self-invocation cannot upgrade read-only to mutating")
+)
+
+// ObjectType bundles fields and methods; objects are instantiated from it
+// (paper §3: "object types"). The zero value is not usable; construct with
+// NewObjectType or DecodeObjectType.
+type ObjectType struct {
+	Name    string
+	Fields  []FieldDef
+	Methods []MethodInfo
+	Module  *vm.Module
+
+	fieldIdx  map[string]*FieldDef
+	methodIdx map[string]*MethodInfo
+}
+
+// NewObjectType validates and indexes a type definition. Every declared
+// method must be an exported function of the module.
+func NewObjectType(name string, fields []FieldDef, methods []MethodInfo, module *vm.Module) (*ObjectType, error) {
+	t := &ObjectType{Name: name, Fields: fields, Methods: methods, Module: module}
+	if err := t.init(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// init builds the lookup indexes and validates invariants.
+func (t *ObjectType) init() error {
+	if t.Name == "" {
+		return fmt.Errorf("%w: empty type name", ErrBadType)
+	}
+	if strings.ContainsRune(t.Name, 0) {
+		return fmt.Errorf("%w: type name contains NUL", ErrBadType)
+	}
+	if t.Module == nil {
+		return fmt.Errorf("%w: type %q has no module", ErrBadType, t.Name)
+	}
+	t.fieldIdx = make(map[string]*FieldDef, len(t.Fields))
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if f.Name == "" || strings.ContainsRune(f.Name, 0) {
+			return fmt.Errorf("%w: bad field name %q", ErrBadType, f.Name)
+		}
+		if _, dup := t.fieldIdx[f.Name]; dup {
+			return fmt.Errorf("%w: duplicate field %q", ErrBadType, f.Name)
+		}
+		t.fieldIdx[f.Name] = f
+	}
+	t.methodIdx = make(map[string]*MethodInfo, len(t.Methods))
+	for i := range t.Methods {
+		m := &t.Methods[i]
+		if _, dup := t.methodIdx[m.Name]; dup {
+			return fmt.Errorf("%w: duplicate method %q", ErrBadType, m.Name)
+		}
+		if !t.Module.HasExport(m.Name) {
+			return fmt.Errorf("%w: method %q is not an exported module function", ErrBadType, m.Name)
+		}
+		t.methodIdx[m.Name] = m
+	}
+	return nil
+}
+
+// Field returns the named field definition.
+func (t *ObjectType) Field(name string) (*FieldDef, bool) {
+	f, ok := t.fieldIdx[name]
+	return f, ok
+}
+
+// Method returns the named method declaration.
+func (t *ObjectType) Method(name string) (*MethodInfo, bool) {
+	m, ok := t.methodIdx[name]
+	return m, ok
+}
+
+// Encode serializes the type (the representation persisted in the store
+// and shipped between nodes).
+func (t *ObjectType) Encode() []byte {
+	var b []byte
+	b = wire.AppendString(b, t.Name)
+	b = wire.AppendUvarint(b, uint64(len(t.Fields)))
+	for _, f := range t.Fields {
+		b = wire.AppendString(b, f.Name)
+		b = append(b, byte(f.Kind))
+	}
+	b = wire.AppendUvarint(b, uint64(len(t.Methods)))
+	for _, m := range t.Methods {
+		b = wire.AppendString(b, m.Name)
+		var flags byte
+		if m.ReadOnly {
+			flags |= 1
+		}
+		if m.Deterministic {
+			flags |= 2
+		}
+		b = append(b, flags)
+	}
+	b = wire.AppendBytes(b, t.Module.Encode())
+	return b
+}
+
+// DecodeObjectType parses and validates a serialized type.
+func DecodeObjectType(data []byte) (*ObjectType, error) {
+	t := &ObjectType{}
+	var err error
+	var rest []byte
+	if t.Name, rest, err = wire.String(data); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadType, err)
+	}
+	var n uint64
+	if n, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("%w: field count: %v", ErrBadType, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var f FieldDef
+		if f.Name, rest, err = wire.String(rest); err != nil {
+			return nil, fmt.Errorf("%w: field name: %v", ErrBadType, err)
+		}
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: truncated field kind", ErrBadType)
+		}
+		f.Kind = FieldKind(rest[0])
+		rest = rest[1:]
+		if f.Kind > FieldList {
+			return nil, fmt.Errorf("%w: unknown field kind %d", ErrBadType, f.Kind)
+		}
+		t.Fields = append(t.Fields, f)
+	}
+	if n, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("%w: method count: %v", ErrBadType, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var m MethodInfo
+		if m.Name, rest, err = wire.String(rest); err != nil {
+			return nil, fmt.Errorf("%w: method name: %v", ErrBadType, err)
+		}
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: truncated method flags", ErrBadType)
+		}
+		m.ReadOnly = rest[0]&1 != 0
+		m.Deterministic = rest[0]&2 != 0
+		rest = rest[1:]
+		t.Methods = append(t.Methods, m)
+	}
+	var modBytes []byte
+	if modBytes, _, err = wire.Bytes(rest); err != nil {
+		return nil, fmt.Errorf("%w: module: %v", ErrBadType, err)
+	}
+	if t.Module, err = vm.Decode(modBytes); err != nil {
+		return nil, err
+	}
+	if err := t.init(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,184 @@
+package paxos
+
+import (
+	"errors"
+	"sync"
+
+	"lambdastore/internal/rpc"
+)
+
+// ErrUnreachable models a partitioned or crashed peer in the local
+// transport.
+var ErrUnreachable = errors.New("paxos: peer unreachable")
+
+// LocalTransport wires nodes together in-process. Tests use Disconnect to
+// inject partitions and crashes.
+type LocalTransport struct {
+	mu    sync.RWMutex
+	nodes map[uint64]*Node
+	down  map[uint64]bool
+}
+
+// NewLocalTransport returns an empty in-process transport.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{nodes: make(map[uint64]*Node), down: make(map[uint64]bool)}
+}
+
+// Register attaches a node so peers can reach it.
+func (t *LocalTransport) Register(n *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[n.ID()] = n
+}
+
+// Disconnect makes peer unreachable (both directions) until Reconnect.
+func (t *LocalTransport) Disconnect(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[id] = true
+}
+
+// Reconnect restores a previously disconnected peer.
+func (t *LocalTransport) Reconnect(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, id)
+}
+
+func (t *LocalTransport) get(peer uint64) (*Node, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.down[peer] {
+		return nil, ErrUnreachable
+	}
+	n, ok := t.nodes[peer]
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	return n, nil
+}
+
+// Prepare implements Transport.
+func (t *LocalTransport) Prepare(peer uint64, req *PrepareReq) (*PrepareResp, error) {
+	n, err := t.get(peer)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandlePrepare(req), nil
+}
+
+// Accept implements Transport.
+func (t *LocalTransport) Accept(peer uint64, req *AcceptReq) (*AcceptResp, error) {
+	n, err := t.get(peer)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleAccept(req), nil
+}
+
+// Learn implements Transport.
+func (t *LocalTransport) Learn(peer uint64, req *LearnReq) error {
+	n, err := t.get(peer)
+	if err != nil {
+		return err
+	}
+	n.HandleLearn(req)
+	return nil
+}
+
+// RPC method names used by the network transport.
+const (
+	methodPrepare = "paxos.prepare"
+	methodAccept  = "paxos.accept"
+	methodLearn   = "paxos.learn"
+)
+
+// RegisterServer exposes a node's acceptor/learner roles on an RPC server.
+func RegisterServer(srv *rpc.Server, n *Node) {
+	srv.Handle(methodPrepare, func(body []byte) ([]byte, error) {
+		req, err := DecodePrepareReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return EncodePrepareResp(n.HandlePrepare(req)), nil
+	})
+	srv.Handle(methodAccept, func(body []byte) ([]byte, error) {
+		req, err := DecodeAcceptReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeAcceptResp(n.HandleAccept(req)), nil
+	})
+	srv.Handle(methodLearn, func(body []byte) ([]byte, error) {
+		req, err := DecodeLearnReq(body)
+		if err != nil {
+			return nil, err
+		}
+		n.HandleLearn(req)
+		return nil, nil
+	})
+}
+
+// RPCTransport reaches peers over the rpc package. The local node's
+// messages short-circuit in process.
+type RPCTransport struct {
+	self  *Node
+	pool  *rpc.Pool
+	addrs map[uint64]string
+}
+
+// NewRPCTransport builds a transport for self, given each peer's RPC
+// address. self may be nil if the local node is registered in addrs too.
+func NewRPCTransport(self *Node, pool *rpc.Pool, addrs map[uint64]string) *RPCTransport {
+	cp := make(map[uint64]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &RPCTransport{self: self, pool: pool, addrs: cp}
+}
+
+// Prepare implements Transport.
+func (t *RPCTransport) Prepare(peer uint64, req *PrepareReq) (*PrepareResp, error) {
+	if t.self != nil && peer == t.self.ID() {
+		return t.self.HandlePrepare(req), nil
+	}
+	addr, ok := t.addrs[peer]
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	body, err := t.pool.Call(addr, methodPrepare, EncodePrepareReq(req))
+	if err != nil {
+		return nil, err
+	}
+	return DecodePrepareResp(body)
+}
+
+// Accept implements Transport.
+func (t *RPCTransport) Accept(peer uint64, req *AcceptReq) (*AcceptResp, error) {
+	if t.self != nil && peer == t.self.ID() {
+		return t.self.HandleAccept(req), nil
+	}
+	addr, ok := t.addrs[peer]
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	body, err := t.pool.Call(addr, methodAccept, EncodeAcceptReq(req))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAcceptResp(body)
+}
+
+// Learn implements Transport.
+func (t *RPCTransport) Learn(peer uint64, req *LearnReq) error {
+	if t.self != nil && peer == t.self.ID() {
+		t.self.HandleLearn(req)
+		return nil
+	}
+	addr, ok := t.addrs[peer]
+	if !ok {
+		return ErrUnreachable
+	}
+	_, err := t.pool.Call(addr, methodLearn, EncodeLearnReq(req))
+	return err
+}

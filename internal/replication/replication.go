@@ -1,0 +1,307 @@
+// Package replication implements LambdaStore's primary-backup replication
+// (paper §4.2.1). Mutating methods execute only at a shard's primary; the
+// *results of the computation* — the committed write-set, not the inputs —
+// are shipped synchronously to the backup replicas before the invocation
+// reply is released, so a failover never loses an acknowledged write.
+// Read-only methods may execute at any replica to increase throughput.
+//
+// The package also provides range-based state transfer, used both to
+// bootstrap a new backup and to migrate a single object (microshard) to
+// another replica group.
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/store"
+	"lambdastore/internal/wire"
+)
+
+// RPC method names.
+const (
+	MethodApply = "repl.apply"
+	MethodFetch = "repl.fetch"
+)
+
+// ErrBackupFailed reports that one or more backups did not acknowledge a
+// write-set.
+var ErrBackupFailed = errors.New("replication: backup failed")
+
+// applyMsg is the wire form of a shipped write-set.
+type applyMsg struct {
+	object uint64
+	batch  *store.Batch
+}
+
+func encodeApply(object uint64, b *store.Batch) []byte {
+	var buf []byte
+	buf = wire.AppendUvarint(buf, object)
+	return wire.AppendBytes(buf, b.Encode())
+}
+
+func decodeApply(body []byte) (*applyMsg, error) {
+	object, rest, err := wire.Uvarint(body)
+	if err != nil {
+		return nil, fmt.Errorf("replication: apply object: %w", err)
+	}
+	raw, _, err := wire.Bytes(rest)
+	if err != nil {
+		return nil, fmt.Errorf("replication: apply batch: %w", err)
+	}
+	b, err := store.DecodeBatch(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &applyMsg{object: object, batch: b}, nil
+}
+
+// Shipper is the primary-side replication endpoint. Safe for concurrent
+// use; write-sets of different objects ship concurrently (they commute),
+// while per-object ordering is inherited from the object scheduler.
+type Shipper struct {
+	pool *rpc.Pool
+
+	mu      sync.RWMutex
+	backups []string
+	// onFailure is invoked (outside the lock) when a backup rejects or
+	// misses a write-set; the cluster layer reports it to the coordinator.
+	onFailure func(addr string, err error)
+	shipped   uint64
+}
+
+// NewShipper returns a shipper over the given connection pool.
+func NewShipper(pool *rpc.Pool, onFailure func(addr string, err error)) *Shipper {
+	return &Shipper{pool: pool, onFailure: onFailure}
+}
+
+// SetBackups replaces the backup set (reconfiguration).
+func (s *Shipper) SetBackups(addrs []string) {
+	s.mu.Lock()
+	s.backups = append([]string(nil), addrs...)
+	s.mu.Unlock()
+}
+
+// Backups returns the current backup set.
+func (s *Shipper) Backups() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.backups...)
+}
+
+// Shipped returns the number of write-sets acknowledged by all backups.
+func (s *Shipper) Shipped() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shipped
+}
+
+// Ship synchronously replicates one committed write-set to every backup.
+// Failures are reported via the failure callback; the write-set is still
+// considered durable if at least the primary holds it (the coordinator will
+// reconfigure the group), so Ship returns the first error only for callers
+// that want strict semantics.
+func (s *Shipper) Ship(object uint64, b *store.Batch) error {
+	s.mu.RLock()
+	backups := s.backups
+	s.mu.RUnlock()
+	if len(backups) == 0 {
+		return nil
+	}
+	body := encodeApply(object, b)
+
+	var firstErr error
+	type result struct {
+		addr string
+		err  error
+	}
+	results := make(chan result, len(backups))
+	for _, addr := range backups {
+		go func(addr string) {
+			_, err := s.pool.Call(addr, MethodApply, body)
+			results <- result{addr: addr, err: err}
+		}(addr)
+	}
+	for range backups {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %s: %v", ErrBackupFailed, r.addr, r.err)
+			}
+			if s.onFailure != nil {
+				s.onFailure(r.addr, r.err)
+			}
+		}
+	}
+	if firstErr == nil {
+		s.mu.Lock()
+		s.shipped++
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Applier is the backup-side sink for shipped write-sets (implemented by
+// core.Runtime).
+type Applier interface {
+	ApplyReplicated(object uint64, b *store.Batch) error
+}
+
+// applierFunc adapts a function to Applier.
+type applierFunc func(object uint64, b *store.Batch) error
+
+func (f applierFunc) ApplyReplicated(object uint64, b *store.Batch) error { return f(object, b) }
+
+// ApplierFunc wraps fn as an Applier.
+func ApplierFunc(fn func(object uint64, b *store.Batch) error) Applier { return applierFunc(fn) }
+
+// RegisterBackup exposes the backup-side apply and fetch handlers on an RPC
+// server.
+func RegisterBackup(srv *rpc.Server, db *store.DB, applier Applier) {
+	srv.Handle(MethodApply, func(body []byte) ([]byte, error) {
+		msg, err := decodeApply(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := applier.ApplyReplicated(msg.object, msg.batch); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	srv.Handle(MethodFetch, func(body []byte) ([]byte, error) {
+		req, err := decodeFetchReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return serveFetch(db, req)
+	})
+}
+
+// --- range state transfer ---
+
+// fetchReq asks for up to limit live entries in [start, end).
+type fetchReq struct {
+	start []byte
+	end   []byte
+	limit uint64
+}
+
+func encodeFetchReq(r *fetchReq) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, r.start)
+	b = wire.AppendBytes(b, r.end)
+	return wire.AppendUvarint(b, r.limit)
+}
+
+func decodeFetchReq(body []byte) (*fetchReq, error) {
+	r := &fetchReq{}
+	var err error
+	var raw []byte
+	if raw, body, err = wire.Bytes(body); err != nil {
+		return nil, err
+	}
+	r.start = append([]byte(nil), raw...)
+	if raw, body, err = wire.Bytes(body); err != nil {
+		return nil, err
+	}
+	r.end = append([]byte(nil), raw...)
+	if r.limit, _, err = wire.Uvarint(body); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// fetchResp carries entries plus a continuation key ("" = done).
+type fetchResp struct {
+	keys   [][]byte
+	values [][]byte
+	next   []byte
+}
+
+func encodeFetchResp(r *fetchResp) []byte {
+	var b []byte
+	b = wire.AppendBytesSlice(b, r.keys)
+	b = wire.AppendBytesSlice(b, r.values)
+	return wire.AppendBytes(b, r.next)
+}
+
+func decodeFetchResp(body []byte) (*fetchResp, error) {
+	r := &fetchResp{}
+	var err error
+	if r.keys, body, err = wire.BytesSlice(body); err != nil {
+		return nil, err
+	}
+	if r.values, body, err = wire.BytesSlice(body); err != nil {
+		return nil, err
+	}
+	var raw []byte
+	if raw, _, err = wire.Bytes(body); err != nil {
+		return nil, err
+	}
+	r.next = append([]byte(nil), raw...)
+	if len(r.keys) != len(r.values) {
+		return nil, fmt.Errorf("replication: fetch resp key/value count mismatch")
+	}
+	return r, nil
+}
+
+// serveFetch streams one page of a range from a consistent snapshot.
+func serveFetch(db *store.DB, req *fetchReq) ([]byte, error) {
+	snap := db.GetSnapshot()
+	defer snap.Release()
+	it, err := snap.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	limit := req.limit
+	if limit == 0 || limit > 4096 {
+		limit = 4096
+	}
+	resp := &fetchResp{}
+	it.Seek(req.start)
+	for ; it.Valid(); it.Next() {
+		k := it.Key()
+		if len(req.end) > 0 && string(k) >= string(req.end) {
+			break
+		}
+		if uint64(len(resp.keys)) >= limit {
+			resp.next = append([]byte(nil), k...)
+			break
+		}
+		resp.keys = append(resp.keys, append([]byte(nil), k...))
+		resp.values = append(resp.values, append([]byte(nil), it.Value()...))
+	}
+	if err := it.Error(); err != nil {
+		return nil, err
+	}
+	return encodeFetchResp(resp), nil
+}
+
+// FetchRange copies every live entry in [start, end) from the peer at addr,
+// invoking fn per entry. Used for backup bootstrap and object migration.
+func FetchRange(pool *rpc.Pool, addr string, start, end []byte, fn func(key, value []byte) error) error {
+	cursor := append([]byte(nil), start...)
+	for {
+		body, err := pool.Call(addr, MethodFetch, encodeFetchReq(&fetchReq{start: cursor, end: end, limit: 1024}))
+		if err != nil {
+			return err
+		}
+		resp, err := decodeFetchResp(body)
+		if err != nil {
+			return err
+		}
+		for i := range resp.keys {
+			if err := fn(resp.keys[i], resp.values[i]); err != nil {
+				return err
+			}
+		}
+		if len(resp.next) == 0 {
+			return nil
+		}
+		cursor = resp.next
+	}
+}

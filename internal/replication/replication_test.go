@@ -1,0 +1,210 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/store"
+)
+
+// startBackup boots a store with the backup handlers registered.
+func startBackup(t *testing.T) (*store.DB, string) {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := rpc.NewServer()
+	RegisterBackup(srv, db, ApplierFunc(func(object uint64, b *store.Batch) error {
+		return db.Write(b)
+	}))
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return db, addr
+}
+
+func TestShipAppliesAtAllBackups(t *testing.T) {
+	db1, addr1 := startBackup(t)
+	db2, addr2 := startBackup(t)
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	s := NewShipper(pool, nil)
+	s.SetBackups([]string{addr1, addr2})
+
+	b := store.NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	if err := s.Ship(7, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, db := range []*store.DB{db1, db2} {
+		v, err := db.Get([]byte("k1"))
+		if err != nil || string(v) != "v1" {
+			t.Fatalf("backup %d: k1 = %q, %v", i, v, err)
+		}
+	}
+	if s.Shipped() != 1 {
+		t.Fatalf("shipped = %d", s.Shipped())
+	}
+}
+
+func TestShipNoBackupsIsNoop(t *testing.T) {
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	s := NewShipper(pool, nil)
+	b := store.NewBatch()
+	b.Put([]byte("k"), []byte("v"))
+	if err := s.Ship(1, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShipReportsFailedBackup(t *testing.T) {
+	_, addr1 := startBackup(t)
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	var mu sync.Mutex
+	var failed []string
+	s := NewShipper(pool, func(addr string, err error) {
+		mu.Lock()
+		failed = append(failed, addr)
+		mu.Unlock()
+	})
+	s.SetBackups([]string{addr1, "127.0.0.1:1"}) // port 1: refused
+
+	b := store.NewBatch()
+	b.Put([]byte("k"), []byte("v"))
+	err := s.Ship(1, b)
+	if !errors.Is(err, ErrBackupFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failed) != 1 || failed[0] != "127.0.0.1:1" {
+		t.Fatalf("failure callbacks: %v", failed)
+	}
+}
+
+func TestApplyMsgRoundTrip(t *testing.T) {
+	b := store.NewBatch()
+	b.Put([]byte("a"), []byte("1"))
+	b.Delete([]byte("b"))
+	enc := encodeApply(42, b)
+	msg, err := decodeApply(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.object != 42 || msg.batch.Len() != 2 {
+		t.Fatalf("decoded %+v", msg)
+	}
+	if _, err := decodeApply([]byte{0xff}); err == nil {
+		t.Fatal("garbage apply decoded")
+	}
+}
+
+func TestFetchRange(t *testing.T) {
+	db, addr := startBackup(t)
+	// Seed data directly (acting as the source primary).
+	const n = 3000 // multiple fetch pages
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key%05d", i)), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Put([]byte("other"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	got := make(map[string]string)
+	err := FetchRange(pool, addr, []byte("key"), []byte("kez"), func(k, v []byte) error {
+		got[string(k)] = string(v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("fetched %d entries, want %d", len(got), n)
+	}
+	if got["key00000"] != "val0" || got["key02999"] != "val2999" {
+		t.Fatal("boundary entries wrong")
+	}
+	if _, ok := got["other"]; ok {
+		t.Fatal("out-of-range key fetched")
+	}
+}
+
+func TestFetchRangeCallbackError(t *testing.T) {
+	db, addr := startBackup(t)
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	sentinel := errors.New("stop")
+	err := FetchRange(pool, addr, []byte("k"), nil, func(k, v []byte) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchReqRespCodecs(t *testing.T) {
+	req := &fetchReq{start: []byte("a"), end: []byte("z"), limit: 7}
+	dec, err := decodeFetchReq(encodeFetchReq(req))
+	if err != nil || string(dec.start) != "a" || string(dec.end) != "z" || dec.limit != 7 {
+		t.Fatalf("req: %+v %v", dec, err)
+	}
+	resp := &fetchResp{keys: [][]byte{[]byte("k")}, values: [][]byte{[]byte("v")}, next: []byte("n")}
+	dresp, err := decodeFetchResp(encodeFetchResp(resp))
+	if err != nil || len(dresp.keys) != 1 || string(dresp.next) != "n" {
+		t.Fatalf("resp: %+v %v", dresp, err)
+	}
+	// Mismatched key/value counts rejected.
+	bad := &fetchResp{keys: [][]byte{[]byte("k")}, values: nil}
+	if _, err := decodeFetchResp(encodeFetchResp(bad)); err == nil {
+		t.Fatal("mismatched resp decoded")
+	}
+}
+
+func TestConcurrentShipping(t *testing.T) {
+	db1, addr1 := startBackup(t)
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	s := NewShipper(pool, nil)
+	s.SetBackups([]string{addr1})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b := store.NewBatch()
+				b.Put([]byte(fmt.Sprintf("w%d-k%d", w, i)), []byte("v"))
+				if err := s.Ship(uint64(w), b); err != nil {
+					t.Errorf("ship: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 50; i++ {
+			if _, err := db1.Get([]byte(fmt.Sprintf("w%d-k%d", w, i))); err != nil {
+				t.Fatalf("missing w%d-k%d: %v", w, i, err)
+			}
+		}
+	}
+}

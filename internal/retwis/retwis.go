@@ -1,0 +1,526 @@
+// Package retwis implements the paper's running example and evaluation
+// workload (§2, §3.2, §5): a Retwis-style microblogging service. Each User
+// is one LambdaObject holding the user's name, their posts, the accounts
+// they follow / are followed by, a blocked set, and a timeline containing
+// the posts of everyone they follow. Methods follow Listing 1:
+//
+//	create_post(msg)    — store the post locally, then fan store_post out
+//	                      to every follower's timeline in parallel
+//	store_post(a,t,m)   — append one post to this user's timeline (skipped
+//	                      if the author is blocked — the §2 causality
+//	                      example)
+//	get_timeline(limit) — read the newest posts (read-only, cacheable)
+//	follow(target)      — record the edge on both sides (cross-object)
+//
+// The methods are written in the guest assembly and run under the metered
+// isolation runtime on BOTH architectures of the evaluation.
+package retwis
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lambdastore/internal/core"
+	"lambdastore/internal/vm"
+)
+
+// TypeName is the registered object type.
+const TypeName = "User"
+
+// Source is the guest implementation of the User object.
+const Source = `
+;; memcpy(dst, src, n): byte copy within guest memory.
+func memcpy params=3
+loop:
+  local.get 2
+  push 0
+  le_s
+  jnz done
+  local.get 0
+  local.get 1
+  load8_u
+  store8
+  local.get 0
+  push 1
+  add
+  local.set 0
+  local.get 1
+  push 1
+  add
+  local.set 1
+  local.get 2
+  push 1
+  sub
+  local.set 2
+  jmp loop
+done:
+  ret
+end
+
+;; result_i64(v): set an 8-byte little-endian result.
+func result_i64 params=1 locals=1
+  push 8
+  hostcall alloc
+  local.set 1
+  local.get 1
+  local.get 0
+  store64
+  local.get 1
+  push 8
+  hostcall set_result
+  ret
+end
+
+;; create_account(name): initialize the profile.
+func create_account params=0 export
+  str "name"
+  push 0
+  hostcall arg
+  dup
+  unpack.ptr
+  swap
+  unpack.len
+  hostcall val_set
+  ret
+end
+
+;; get_name() -> bytes
+func get_name params=0 export
+  str "name"
+  hostcall val_get
+  dup
+  push -1
+  eq
+  jnz missing
+  dup
+  unpack.ptr
+  swap
+  unpack.len
+  hostcall set_result
+  ret
+missing:
+  pop
+  ret
+end
+
+;; add_follower(uid): append raw 8-byte id to "followers".
+func add_follower params=0 export
+  str "followers"
+  push 0
+  hostcall arg
+  dup
+  unpack.ptr
+  swap
+  unpack.len
+  hostcall list_push
+  ret
+end
+
+;; follow(target): record edge on both sides (cross-object invocation).
+func follow params=0 locals=1 export
+  str "following"
+  push 0
+  hostcall arg
+  dup
+  unpack.ptr
+  swap
+  unpack.len
+  hostcall list_push
+  ;; stage self id, then invoke target.add_follower
+  push 8
+  hostcall alloc
+  local.set 0
+  local.get 0
+  hostcall self_id
+  store64
+  local.get 0
+  push 8
+  hostcall call_arg
+  push 0
+  hostcall arg
+  unpack.ptr
+  load64
+  str "add_follower"
+  hostcall invoke
+  pop
+  ret
+end
+
+;; block(uid): authors in "blocked" never reach this timeline again.
+func block params=0 export
+  str "blocked"
+  push 0
+  hostcall arg
+  dup
+  unpack.ptr
+  swap
+  unpack.len
+  str "1"
+  hostcall map_set
+  ret
+end
+
+;; follower_count() -> i64
+func follower_count params=0 export
+  str "followers"
+  hostcall list_len
+  call result_i64
+  ret
+end
+
+;; timeline_len() -> i64
+func timeline_len params=0 export
+  str "timeline"
+  hostcall list_len
+  call result_i64
+  ret
+end
+
+;; store_post(author8, time8, msg): append to the timeline unless the
+;; author is blocked.
+func store_post params=0 locals=6 export
+  ;; locals: 0=author 1=time 2=msgptr 3=msglen 4=entry 5=entrylen
+  ;; blocked check first (reads only)
+  str "blocked"
+  push 0
+  hostcall arg
+  dup
+  unpack.ptr
+  swap
+  unpack.len
+  hostcall map_get
+  push -1
+  ne
+  jnz blocked
+  push 0
+  hostcall arg
+  unpack.ptr
+  load64
+  local.set 0
+  push 1
+  hostcall arg
+  unpack.ptr
+  load64
+  local.set 1
+  push 2
+  hostcall arg
+  dup
+  unpack.ptr
+  local.set 2
+  unpack.len
+  local.set 3
+  ;; entry = author8 | time8 | msg
+  local.get 3
+  push 16
+  add
+  local.set 5
+  local.get 5
+  hostcall alloc
+  local.set 4
+  local.get 4
+  local.get 0
+  store64
+  local.get 4
+  push 8
+  add
+  local.get 1
+  store64
+  local.get 4
+  push 16
+  add
+  local.get 2
+  local.get 3
+  call memcpy
+  str "timeline"
+  local.get 4
+  local.get 5
+  hostcall list_push
+blocked:
+  ret
+end
+
+;; create_post(msg): store locally, then fan out to followers in parallel
+;; (Listing 1). Returns the number of follower deliveries.
+func create_post params=0 locals=10 export
+  ;; locals: 0=msgptr 1=msglen 2=author 3=time 4=entry 5=entrylen
+  ;;         6=nfollowers 7=i 8=buf 9=fid
+  push 0
+  hostcall arg
+  dup
+  unpack.ptr
+  local.set 0
+  unpack.len
+  local.set 1
+  hostcall self_id
+  local.set 2
+  hostcall time
+  local.set 3
+  ;; entry = author8 | time8 | msg
+  local.get 1
+  push 16
+  add
+  local.set 5
+  local.get 5
+  hostcall alloc
+  local.set 4
+  local.get 4
+  local.get 2
+  store64
+  local.get 4
+  push 8
+  add
+  local.get 3
+  store64
+  local.get 4
+  push 16
+  add
+  local.get 0
+  local.get 1
+  call memcpy
+  str "posts"
+  local.get 4
+  local.get 5
+  hostcall list_push
+  str "timeline"
+  local.get 4
+  local.get 5
+  hostcall list_push
+  ;; fan out store_post to each follower in parallel
+  str "followers"
+  hostcall list_len
+  local.set 6
+  push 0
+  local.set 7
+fan:
+  local.get 7
+  local.get 6
+  ge_s
+  jnz wait_init
+  str "followers"
+  local.get 7
+  hostcall list_get
+  unpack.ptr
+  load64
+  local.set 9
+  ;; stage (author, time, msg)
+  push 8
+  hostcall alloc
+  local.set 8
+  local.get 8
+  local.get 2
+  store64
+  local.get 8
+  push 8
+  hostcall call_arg
+  push 8
+  hostcall alloc
+  local.set 8
+  local.get 8
+  local.get 3
+  store64
+  local.get 8
+  push 8
+  hostcall call_arg
+  local.get 0
+  local.get 1
+  hostcall call_arg
+  local.get 9
+  str "store_post"
+  hostcall invoke_start
+  pop
+  local.get 7
+  push 1
+  add
+  local.set 7
+  jmp fan
+wait_init:
+  push 0
+  local.set 7
+wait:
+  local.get 7
+  local.get 6
+  ge_s
+  jnz done
+  local.get 7
+  hostcall invoke_wait
+  pop
+  local.get 7
+  push 1
+  add
+  local.set 7
+  jmp wait
+done:
+  local.get 6
+  call result_i64
+  ret
+end
+
+;; get_timeline(limit): newest "limit" posts, serialized as
+;; [len8 | entry]* (oldest of the window first).
+func get_timeline params=0 locals=9 export
+  ;; locals: 0=limit 1=n 2=start 3=i 4=total 5=out 6=w 7=entryptr 8=entrylen
+  push 0
+  hostcall arg
+  unpack.ptr
+  load64
+  local.set 0
+  str "timeline"
+  hostcall list_len
+  local.set 1
+  local.get 1
+  local.get 0
+  sub
+  local.set 2
+  local.get 2
+  push 0
+  ge_s
+  jnz have_start
+  push 0
+  local.set 2
+have_start:
+  ;; pass 1: total size
+  local.get 2
+  local.set 3
+  push 0
+  local.set 4
+size_loop:
+  local.get 3
+  local.get 1
+  ge_s
+  jnz alloc_out
+  str "timeline"
+  local.get 3
+  hostcall list_get
+  unpack.len
+  push 8
+  add
+  local.get 4
+  add
+  local.set 4
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp size_loop
+alloc_out:
+  local.get 4
+  hostcall alloc
+  local.set 5
+  local.get 5
+  local.set 6
+  ;; pass 2: copy entries
+  local.get 2
+  local.set 3
+copy_loop:
+  local.get 3
+  local.get 1
+  ge_s
+  jnz finish
+  str "timeline"
+  local.get 3
+  hostcall list_get
+  dup
+  unpack.ptr
+  local.set 7
+  unpack.len
+  local.set 8
+  local.get 6
+  local.get 8
+  store64
+  local.get 6
+  push 8
+  add
+  local.get 7
+  local.get 8
+  call memcpy
+  local.get 6
+  push 8
+  add
+  local.get 8
+  add
+  local.set 6
+  local.get 3
+  push 1
+  add
+  local.set 3
+  jmp copy_loop
+finish:
+  local.get 5
+  local.get 4
+  hostcall set_result
+  ret
+end
+`
+
+// Methods declares the public surface with its consistency/caching
+// attributes.
+var Methods = []core.MethodInfo{
+	{Name: "create_account"},
+	{Name: "get_name", ReadOnly: true, Deterministic: true},
+	{Name: "add_follower"},
+	{Name: "follow"},
+	{Name: "block"},
+	{Name: "follower_count", ReadOnly: true, Deterministic: true},
+	{Name: "timeline_len", ReadOnly: true, Deterministic: true},
+	{Name: "store_post"},
+	{Name: "create_post"},
+	{Name: "get_timeline", ReadOnly: true, Deterministic: true},
+}
+
+// Fields declares the User object's state.
+var Fields = []core.FieldDef{
+	{Name: "name", Kind: core.FieldValue},
+	{Name: "followers", Kind: core.FieldList},
+	{Name: "following", Kind: core.FieldList},
+	{Name: "posts", Kind: core.FieldList},
+	{Name: "timeline", Kind: core.FieldList},
+	{Name: "blocked", Kind: core.FieldMap},
+}
+
+// NewType compiles the User object type.
+func NewType() (*core.ObjectType, error) {
+	mod, err := vm.Assemble(Source)
+	if err != nil {
+		return nil, fmt.Errorf("retwis: assemble: %w", err)
+	}
+	return core.NewObjectType(TypeName, Fields, Methods, mod)
+}
+
+// MustType panics on assembly errors (static source).
+func MustType() *core.ObjectType {
+	t, err := NewType()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Post is one decoded timeline entry.
+type Post struct {
+	Author core.ObjectID
+	Time   int64
+	Msg    string
+}
+
+// DecodeTimeline parses get_timeline's result.
+func DecodeTimeline(data []byte) ([]Post, error) {
+	var posts []Post
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("retwis: truncated timeline length")
+		}
+		n := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		if uint64(len(data)) < n || n < 16 {
+			return nil, fmt.Errorf("retwis: truncated timeline entry (%d of %d)", len(data), n)
+		}
+		entry := data[:n]
+		data = data[n:]
+		posts = append(posts, Post{
+			Author: core.ObjectID(binary.LittleEndian.Uint64(entry)),
+			Time:   int64(binary.LittleEndian.Uint64(entry[8:])),
+			Msg:    string(entry[16:]),
+		})
+	}
+	return posts, nil
+}

@@ -1,0 +1,468 @@
+// Package rpc is the network substrate of LambdaStore: a compact
+// length-framed request/response protocol over TCP with per-connection
+// multiplexing (many in-flight requests share one connection), per-call
+// timeouts, and an injectable artificial delay used by the benchmark
+// harness to emulate LAN/WAN round-trip times on loopback.
+//
+// In the paper's architecture this carries client→node invocations,
+// compute→storage accesses in the disaggregated baseline, primary→backup
+// replication, and the Paxos coordination traffic.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"lambdastore/internal/wire"
+)
+
+// Errors returned by clients and servers.
+var (
+	ErrClosed   = errors.New("rpc: connection closed")
+	ErrTimeout  = errors.New("rpc: call timed out")
+	ErrNoMethod = errors.New("rpc: no such method")
+)
+
+// maxFrame bounds a single message to protect against corrupt peers.
+const maxFrame = 64 << 20
+
+// message types.
+const (
+	msgRequest  = 1
+	msgResponse = 2
+)
+
+// RemoteError is an application error propagated from the server; the
+// method handler's error string survives the wire.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// message is the wire unit.
+type message struct {
+	kind   byte
+	id     uint64
+	method string // requests only
+	errStr string // responses only
+	body   []byte
+}
+
+func (m *message) encode(dst []byte) []byte {
+	dst = append(dst, m.kind)
+	dst = wire.AppendUvarint(dst, m.id)
+	dst = wire.AppendString(dst, m.method)
+	dst = wire.AppendString(dst, m.errStr)
+	dst = wire.AppendBytes(dst, m.body)
+	return dst
+}
+
+func decodeMessage(b []byte) (*message, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("rpc: empty message")
+	}
+	m := &message{kind: b[0]}
+	rest := b[1:]
+	var err error
+	if m.id, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("rpc: message id: %w", err)
+	}
+	if m.method, rest, err = wire.String(rest); err != nil {
+		return nil, fmt.Errorf("rpc: message method: %w", err)
+	}
+	if m.errStr, rest, err = wire.String(rest); err != nil {
+		return nil, fmt.Errorf("rpc: message error: %w", err)
+	}
+	var body []byte
+	if body, _, err = wire.Bytes(rest); err != nil {
+		return nil, fmt.Errorf("rpc: message body: %w", err)
+	}
+	m.body = append([]byte(nil), body...)
+	return m, nil
+}
+
+// writeFrame sends one length-prefixed message; the caller must hold the
+// connection's write lock.
+func writeFrame(w io.Writer, m *message) error {
+	payload := m.encode(make([]byte, 4))
+	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one message.
+func readFrame(r io.Reader) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return decodeMessage(buf)
+}
+
+// Handler serves one method. The returned bytes become the response body;
+// a non-nil error is sent to the caller as a RemoteError.
+type Handler func(body []byte) ([]byte, error)
+
+// Server accepts connections and dispatches requests to registered
+// handlers. Each request runs in its own goroutine, so slow handlers do not
+// head-of-line block the connection.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server with no handlers.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers fn for method, replacing any existing registration.
+func (s *Server) Handle(method string, fn Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = fn
+}
+
+// Serve starts accepting on addr ("host:port", empty port for ephemeral)
+// and returns the bound address. Serving continues until Close.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		msg, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if msg.kind != msgRequest {
+			continue
+		}
+		s.mu.RLock()
+		h := s.handlers[msg.method]
+		s.mu.RUnlock()
+		reqWG.Add(1)
+		go func(msg *message) {
+			defer reqWG.Done()
+			resp := &message{kind: msgResponse, id: msg.id}
+			if h == nil {
+				resp.errStr = ErrNoMethod.Error() + ": " + msg.method
+			} else if body, err := h(msg.body); err != nil {
+				resp.errStr = err.Error()
+			} else {
+				resp.body = body
+			}
+			writeMu.Lock()
+			err := writeFrame(conn, resp)
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(msg)
+	}
+}
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ClientOptions tunes a client connection.
+type ClientOptions struct {
+	// Timeout bounds each Call; zero means 30s.
+	Timeout time.Duration
+	// Delay is an artificial one-way network delay added to every call
+	// (applied twice: request and response legs). The benchmark harness
+	// uses it to emulate non-loopback networks.
+	Delay time.Duration
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+func (o *ClientOptions) sanitize() ClientOptions {
+	var out ClientOptions
+	if o != nil {
+		out = *o
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 30 * time.Second
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// Client is a multiplexing connection to one server. Safe for concurrent
+// use; a failed connection fails all in-flight calls.
+type Client struct {
+	opts ClientOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	nextID  uint64
+	pending map[uint64]chan *message
+	closed  bool
+	writeMu sync.Mutex
+}
+
+// Dial connects to addr.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	o := opts.sanitize()
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		opts:    o,
+		conn:    conn,
+		pending: make(map[uint64]chan *message),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		msg, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if msg.kind != msgResponse {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.id]
+		delete(c.pending, msg.id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- msg
+		}
+	}
+}
+
+// failAll closes the client and fails every in-flight call.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]chan *message)
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		ch <- &message{kind: msgResponse, errStr: ErrClosed.Error()}
+	}
+}
+
+// Call invokes method with body and waits for the response.
+func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	if c.opts.Delay > 0 {
+		time.Sleep(c.opts.Delay)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := &message{kind: msgRequest, id: id, method: method, body: body}
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	timer := time.NewTimer(c.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if c.opts.Delay > 0 {
+			time.Sleep(c.opts.Delay)
+		}
+		if resp.errStr != "" {
+			if resp.errStr == ErrClosed.Error() {
+				return nil, ErrClosed
+			}
+			return nil, &RemoteError{Msg: resp.errStr}
+		}
+		return resp.body, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrTimeout, method)
+	}
+}
+
+// Close tears the connection down, failing in-flight calls.
+func (c *Client) Close() error {
+	c.failAll(ErrClosed)
+	return nil
+}
+
+// Closed reports whether the client connection has failed or been closed.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Pool hands out clients per address, redialing transparently after
+// failures. It is how nodes reach each other without per-call dials.
+type Pool struct {
+	opts ClientOptions
+
+	mu      sync.Mutex
+	clients map[string]*Client
+}
+
+// NewPool returns an empty pool using opts for every connection.
+func NewPool(opts *ClientOptions) *Pool {
+	return &Pool{opts: opts.sanitize(), clients: make(map[string]*Client)}
+}
+
+// Get returns a live client for addr, dialing if needed.
+func (p *Pool) Get(addr string) (*Client, error) {
+	p.mu.Lock()
+	c, ok := p.clients[addr]
+	if ok && !c.Closed() {
+		p.mu.Unlock()
+		return c, nil
+	}
+	delete(p.clients, addr)
+	p.mu.Unlock()
+
+	nc, err := Dial(addr, &p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if existing, ok := p.clients[addr]; ok && !existing.Closed() {
+		p.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	p.clients[addr] = nc
+	p.mu.Unlock()
+	return nc, nil
+}
+
+// Call is shorthand for Get(addr).Call(method, body).
+func (p *Pool) Call(addr, method string, body []byte) ([]byte, error) {
+	c, err := p.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Call(method, body)
+}
+
+// Close closes every pooled client.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	clients := p.clients
+	p.clients = make(map[string]*Client)
+	p.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

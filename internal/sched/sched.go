@@ -1,0 +1,189 @@
+// Package sched implements LambdaStore's combined function scheduler and
+// concurrency control (paper §4.2): because a method may only touch its own
+// object's data, the node never schedules two mutating invocations of the
+// same object at once — objects are "the lowest form of concurrency" and
+// the application developer chooses lock granularity by choosing object
+// boundaries.
+//
+// The lock table provides per-object reader/writer admission with FIFO
+// fairness and timeouts (the timeout converts cross-object invocation
+// deadlocks, which the model permits applications to write, into errors
+// instead of hangs).
+package sched
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned when an invocation could not be admitted before
+// the deadline, e.g. due to a lock cycle between mutually invoking objects.
+var ErrTimeout = errors.New("sched: lock acquisition timed out")
+
+// Mode distinguishes read-only from mutating invocations.
+type Mode int
+
+const (
+	// Read admissions share the object with other reads.
+	Read Mode = iota
+	// Write admissions are exclusive.
+	Write
+)
+
+// waiter is one queued acquisition.
+type waiter struct {
+	mode  Mode
+	ready chan struct{}
+}
+
+// objLock is a FIFO reader/writer lock for a single object.
+type objLock struct {
+	readers int
+	writer  bool
+	queue   []*waiter
+	// refs counts holders plus waiters so the table can garbage-collect
+	// idle entries.
+	refs int
+}
+
+// Table is a sharded lock table keyed by object ID.
+type Table struct {
+	mu    sync.Mutex
+	locks map[uint64]*objLock
+
+	// Timeout bounds each acquisition; zero means 10s.
+	Timeout time.Duration
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{locks: make(map[uint64]*objLock)}
+}
+
+// timeout returns the effective acquisition deadline.
+func (t *Table) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 10 * time.Second
+}
+
+// Acquire admits an invocation on object id in the given mode, blocking
+// until admitted or timed out. On success the returned release function
+// must be called exactly once.
+func (t *Table) Acquire(id uint64, mode Mode) (release func(), err error) {
+	t.mu.Lock()
+	l, ok := t.locks[id]
+	if !ok {
+		l = &objLock{}
+		t.locks[id] = l
+	}
+	l.refs++
+
+	// Fast path: grant immediately if compatible and nobody is queued
+	// (queue check preserves FIFO fairness — a waiting writer blocks new
+	// readers).
+	if len(l.queue) == 0 && t.grantable(l, mode) {
+		t.grant(l, mode)
+		t.mu.Unlock()
+		return func() { t.release(id, mode) }, nil
+	}
+
+	w := &waiter{mode: mode, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	t.mu.Unlock()
+
+	timer := time.NewTimer(t.timeout())
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return func() { t.release(id, mode) }, nil
+	case <-timer.C:
+		t.mu.Lock()
+		// Re-check: the grant may have raced the timeout.
+		select {
+		case <-w.ready:
+			t.mu.Unlock()
+			return func() { t.release(id, mode) }, nil
+		default:
+		}
+		for i, q := range l.queue {
+			if q == w {
+				l.queue = append(l.queue[:i:i], l.queue[i+1:]...)
+				break
+			}
+		}
+		l.refs--
+		t.maybeDrop(id, l)
+		t.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// grantable reports whether mode can be admitted now. Caller holds t.mu.
+func (t *Table) grantable(l *objLock, mode Mode) bool {
+	if l.writer {
+		return false
+	}
+	if mode == Write {
+		return l.readers == 0
+	}
+	return true
+}
+
+// grant records an admission. Caller holds t.mu.
+func (t *Table) grant(l *objLock, mode Mode) {
+	if mode == Write {
+		l.writer = true
+	} else {
+		l.readers++
+	}
+}
+
+// release ends an admission and wakes compatible queued waiters in order.
+func (t *Table) release(id uint64, mode Mode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := t.locks[id]
+	if l == nil {
+		return
+	}
+	if mode == Write {
+		l.writer = false
+	} else {
+		l.readers--
+	}
+	l.refs--
+
+	// Admit the longest-waiting compatible prefix: either one writer, or a
+	// run of readers.
+	for len(l.queue) > 0 {
+		head := l.queue[0]
+		if !t.grantable(l, head.mode) {
+			break
+		}
+		t.grant(l, head.mode)
+		l.queue = l.queue[1:]
+		close(head.ready)
+		if head.mode == Write {
+			break
+		}
+	}
+	t.maybeDrop(id, l)
+}
+
+// maybeDrop garbage-collects an idle lock entry. Caller holds t.mu.
+func (t *Table) maybeDrop(id uint64, l *objLock) {
+	if l.refs == 0 && !l.writer && l.readers == 0 && len(l.queue) == 0 {
+		delete(t.locks, id)
+	}
+}
+
+// Len returns the number of objects with active or queued admissions
+// (for tests and stats).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.locks)
+}

@@ -1,0 +1,252 @@
+// Package shard implements LambdaStore's microsharding (paper §4.2):
+// objects are microshards — self-contained units of placement that can be
+// migrated individually without disrupting computation on other objects,
+// unlike hash-based sharding which reshuffles key ranges wholesale. The
+// directory maps each object to a replica group using a default placement
+// policy plus per-object overrides recorded by migrations, preserving
+// locality ("the abstraction enables application developers to define what
+// data belongs together").
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lambdastore/internal/wire"
+)
+
+// ErrNoGroups is returned by lookups on an empty directory.
+var ErrNoGroups = errors.New("shard: no replica groups configured")
+
+// Group is one replica set.
+type Group struct {
+	ID      uint64
+	Primary string   // RPC address of the primary
+	Backups []string // RPC addresses of the backups
+}
+
+// Replicas returns primary + backups.
+func (g *Group) Replicas() []string {
+	out := make([]string, 0, 1+len(g.Backups))
+	out = append(out, g.Primary)
+	return append(out, g.Backups...)
+}
+
+// Clone deep-copies the group.
+func (g *Group) Clone() Group {
+	return Group{ID: g.ID, Primary: g.Primary, Backups: append([]string(nil), g.Backups...)}
+}
+
+// Directory maps objects to replica groups. It is versioned by an epoch so
+// nodes and clients can detect stale cached copies after reconfigurations.
+type Directory struct {
+	mu        sync.RWMutex
+	epoch     uint64
+	groups    []Group
+	overrides map[uint64]uint64 // object -> group ID (microshard moves)
+}
+
+// NewDirectory builds a directory over the given groups.
+func NewDirectory(groups []Group) *Directory {
+	d := &Directory{overrides: make(map[uint64]uint64)}
+	d.groups = append(d.groups, groups...)
+	d.sortGroups()
+	return d
+}
+
+func (d *Directory) sortGroups() {
+	sort.Slice(d.groups, func(i, j int) bool { return d.groups[i].ID < d.groups[j].ID })
+}
+
+// Epoch returns the directory version.
+func (d *Directory) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
+}
+
+// Groups returns a copy of all groups.
+func (d *Directory) Groups() []Group {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Group, len(d.groups))
+	for i := range d.groups {
+		out[i] = d.groups[i].Clone()
+	}
+	return out
+}
+
+// Lookup returns the group responsible for object id: the override if the
+// object was migrated, otherwise the default hash placement (id mod number
+// of groups — the contrast baseline the paper mentions; microshard moves
+// then refine it).
+func (d *Directory) Lookup(id uint64) (Group, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lookupLocked(id)
+}
+
+func (d *Directory) lookupLocked(id uint64) (Group, error) {
+	if len(d.groups) == 0 {
+		return Group{}, ErrNoGroups
+	}
+	if gid, ok := d.overrides[id]; ok {
+		for i := range d.groups {
+			if d.groups[i].ID == gid {
+				return d.groups[i].Clone(), nil
+			}
+		}
+		// Stale override to a removed group: fall through to default.
+	}
+	return d.groups[id%uint64(len(d.groups))].Clone(), nil
+}
+
+// SetGroup installs or replaces a group definition, bumping the epoch.
+func (d *Directory) SetGroup(g Group) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.groups {
+		if d.groups[i].ID == g.ID {
+			d.groups[i] = g.Clone()
+			d.epoch++
+			return
+		}
+	}
+	d.groups = append(d.groups, g.Clone())
+	d.sortGroups()
+	d.epoch++
+}
+
+// SetOverride records a migrated object's new home.
+func (d *Directory) SetOverride(object, groupID uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.overrides[object] = groupID
+	d.epoch++
+}
+
+// ClearOverride removes a migration record (the object is back at its
+// default placement).
+func (d *Directory) ClearOverride(object uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.overrides, object)
+	d.epoch++
+}
+
+// OverrideCount returns the number of migrated objects.
+func (d *Directory) OverrideCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.overrides)
+}
+
+// Promote makes the named backup the primary of group gid (failover),
+// removing the failed primary from the group. Returns the updated group.
+func (d *Directory) Promote(gid uint64, newPrimary string) (Group, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.groups {
+		g := &d.groups[i]
+		if g.ID != gid {
+			continue
+		}
+		var rest []string
+		found := false
+		for _, b := range g.Backups {
+			if b == newPrimary {
+				found = true
+				continue
+			}
+			rest = append(rest, b)
+		}
+		if !found {
+			return Group{}, fmt.Errorf("shard: %q is not a backup of group %d", newPrimary, gid)
+		}
+		g.Backups = rest
+		g.Primary = newPrimary
+		d.epoch++
+		return g.Clone(), nil
+	}
+	return Group{}, fmt.Errorf("shard: no group %d", gid)
+}
+
+// Snapshot serializes the directory (coordinator -> node/client transfer).
+func (d *Directory) Snapshot() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var b []byte
+	b = wire.AppendUvarint(b, d.epoch)
+	b = wire.AppendUvarint(b, uint64(len(d.groups)))
+	for _, g := range d.groups {
+		b = wire.AppendUvarint(b, g.ID)
+		b = wire.AppendString(b, g.Primary)
+		b = wire.AppendUvarint(b, uint64(len(g.Backups)))
+		for _, bk := range g.Backups {
+			b = wire.AppendString(b, bk)
+		}
+	}
+	b = wire.AppendUvarint(b, uint64(len(d.overrides)))
+	// Deterministic order for testability.
+	keys := make([]uint64, 0, len(d.overrides))
+	for k := range d.overrides {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		b = wire.AppendUvarint(b, k)
+		b = wire.AppendUvarint(b, d.overrides[k])
+	}
+	return b
+}
+
+// Load replaces the directory contents from a snapshot.
+func Load(data []byte) (*Directory, error) {
+	d := &Directory{overrides: make(map[uint64]uint64)}
+	var err error
+	if d.epoch, data, err = wire.Uvarint(data); err != nil {
+		return nil, fmt.Errorf("shard: snapshot epoch: %w", err)
+	}
+	var n uint64
+	if n, data, err = wire.Uvarint(data); err != nil {
+		return nil, fmt.Errorf("shard: snapshot group count: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var g Group
+		if g.ID, data, err = wire.Uvarint(data); err != nil {
+			return nil, err
+		}
+		if g.Primary, data, err = wire.String(data); err != nil {
+			return nil, err
+		}
+		var nb uint64
+		if nb, data, err = wire.Uvarint(data); err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nb; j++ {
+			var bk string
+			if bk, data, err = wire.String(data); err != nil {
+				return nil, err
+			}
+			g.Backups = append(g.Backups, bk)
+		}
+		d.groups = append(d.groups, g)
+	}
+	if n, data, err = wire.Uvarint(data); err != nil {
+		return nil, fmt.Errorf("shard: snapshot override count: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var obj, gid uint64
+		if obj, data, err = wire.Uvarint(data); err != nil {
+			return nil, err
+		}
+		if gid, data, err = wire.Uvarint(data); err != nil {
+			return nil, err
+		}
+		d.overrides[obj] = gid
+	}
+	d.sortGroups()
+	return d, nil
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a byte-bounded LRU over parsed data blocks, shared by all
+// tables of a DB (LevelDB's block cache). Read-heavy workloads hit the
+// same hot blocks repeatedly; caching the parsed form skips both the pread
+// and the CRC/parse work.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	entries  map[blockCacheKey]*list.Element
+	lru      *list.List // front = most recent; values are *blockCacheEntry
+
+	hits, misses uint64
+}
+
+// blockCacheKey identifies a block by its owning reader and file offset.
+// Readers are never reused across files, so pointer identity is safe.
+type blockCacheKey struct {
+	owner  *tableReader
+	offset uint64
+}
+
+type blockCacheEntry struct {
+	key  blockCacheKey
+	blk  *block
+	size int
+}
+
+// newBlockCache returns a cache bounded to capacity bytes; nil if
+// capacity <= 0 (disabled).
+func newBlockCache(capacity int) *blockCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &blockCache{
+		capacity: capacity,
+		entries:  make(map[blockCacheKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached parsed block, if present.
+func (c *blockCache) get(owner *tableReader, offset uint64) *block {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[blockCacheKey{owner: owner, offset: offset}]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*blockCacheEntry).blk
+}
+
+// put inserts a parsed block, evicting LRU entries past capacity.
+func (c *blockCache) put(owner *tableReader, offset uint64, blk *block, size int) {
+	if c == nil || size > c.capacity {
+		return
+	}
+	key := blockCacheKey{owner: owner, offset: offset}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	el := c.lru.PushFront(&blockCacheEntry{key: key, blk: blk, size: size})
+	c.entries[key] = el
+	c.used += size
+	for c.used > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*blockCacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.size
+	}
+}
+
+// drop removes every block belonging to owner (reader teardown).
+func (c *blockCache) drop(owner *tableReader) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.owner == owner {
+			e := el.Value.(*blockCacheEntry)
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.used -= e.size
+		}
+	}
+}
+
+// stats returns (hits, misses).
+func (c *blockCache) stats() (uint64, uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,652 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// DB is an embedded LSM-tree key-value store. All methods are safe for
+// concurrent use.
+type DB struct {
+	dir  string
+	opts *Options
+	lock *os.File
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when flush/compaction state changes
+	mem      *memtable
+	imm      *memtable // frozen memtable being flushed; nil if none
+	wal      *walWriter
+	walNum   uint64
+	immWal   uint64 // WAL number backing imm
+	lastSeq  uint64
+	nextFile uint64
+	current  *version
+	man      *manifest
+	snaps    map[uint64]int // snapshot seq -> refcount
+	closed   bool
+	bgErr    error
+	bgActive bool
+
+	compactPtr [numLevels][]byte // round-robin compaction cursors (user keys)
+
+	tcache *tableCache
+
+	bgWork chan struct{}
+	bgQuit chan struct{}
+	bgDone chan struct{}
+}
+
+// Open opens (creating if necessary) the database in dir.
+func Open(dir string, opts *Options) (*DB, error) {
+	opts = opts.sanitize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir: %w", err)
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	v, logNum, nextFile, lastSeq, err := loadManifest(dir)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+
+	db := &DB{
+		dir:      dir,
+		opts:     opts,
+		lock:     lock,
+		mem:      newMemtable(),
+		lastSeq:  lastSeq,
+		nextFile: nextFile,
+		current:  v,
+		snaps:    make(map[uint64]int),
+		tcache:   newTableCache(dir, opts.BlockCacheBytes),
+		bgWork:   make(chan struct{}, 1),
+		bgQuit:   make(chan struct{}),
+		bgDone:   make(chan struct{}),
+	}
+	db.cond = sync.NewCond(&db.mu)
+
+	// Replay every WAL at least as new as the manifest's log number.
+	logs, err := findLogs(dir, logNum)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	for _, num := range logs {
+		err := replayWAL(walPath(dir, num), func(record []byte) error {
+			b, err := decodeBatch(record)
+			if err != nil {
+				return err
+			}
+			if err := b.apply(db.mem); err != nil {
+				return err
+			}
+			if end := b.startSeq + uint64(b.count) - 1; end > db.lastSeq {
+				db.lastSeq = end
+			}
+			return nil
+		})
+		if err != nil {
+			lock.Close()
+			return nil, err
+		}
+		if num >= db.nextFile {
+			db.nextFile = num + 1
+		}
+	}
+
+	// Start a fresh WAL for the recovered memtable contents plus new writes.
+	db.walNum = db.nextFile
+	db.nextFile++
+	db.wal, err = newWALWriter(walPath(dir, db.walNum))
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	// Re-log recovered entries so the old logs can be dropped.
+	if db.mem.len() > 0 {
+		if err := db.relogMemtable(); err != nil {
+			lock.Close()
+			return nil, err
+		}
+	}
+
+	// Rewrite the manifest as a snapshot and point it at the new WAL.
+	db.man, err = createManifest(dir, snapshotEdit(v, db.walNum, db.nextFile, db.lastSeq))
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+
+	// Old logs are now superseded.
+	for _, num := range logs {
+		if num != db.walNum {
+			os.Remove(walPath(dir, num))
+		}
+	}
+
+	go db.backgroundLoop()
+	return db, nil
+}
+
+// relogMemtable rewrites the recovered memtable into the fresh WAL as one
+// batch so recovery is idempotent across repeated crashes.
+func (db *DB) relogMemtable() error {
+	b := NewBatch()
+	it := db.mem.iterator()
+	var minSeq uint64 = maxSequence
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik := it.Key()
+		if ik.seq() < minSeq {
+			minSeq = ik.seq()
+		}
+	}
+	// Preserve ordering: replay newest-last. The memtable iterates user-key
+	// order with newest versions first, so collect and sort by seq.
+	type rec struct {
+		seq  uint64
+		kind keyKind
+		key  []byte
+		val  []byte
+	}
+	var recs []rec
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik := it.Key()
+		recs = append(recs, rec{ik.seq(), ik.kind(), append([]byte(nil), ik.userKey()...), append([]byte(nil), it.Value()...)})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	for _, r := range recs {
+		if r.kind == kindDelete {
+			b.Delete(r.key)
+		} else {
+			b.Put(r.key, r.val)
+		}
+	}
+	if b.Empty() {
+		return nil
+	}
+	b.startSeq = minSeq
+	return db.wal.append(b.encode(nil), true)
+}
+
+// acquireDirLock takes an exclusive flock on dir/LOCK, preventing two
+// processes from opening the same database.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/LOCK", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: database locked by another process: %w", err)
+	}
+	return f, nil
+}
+
+// findLogs returns WAL file numbers >= minNum in ascending order.
+func findLogs(dir string, minNum uint64) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var nums []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		if n >= minNum {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// Put stores key -> value.
+func (db *DB) Put(key, value []byte) error {
+	b := NewBatch()
+	b.Put(key, value)
+	return db.Write(b)
+}
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error {
+	b := NewBatch()
+	b.Delete(key)
+	return db.Write(b)
+}
+
+// Write applies the batch atomically: it is logged to the WAL, then
+// published to readers in one step.
+func (db *DB) Write(b *Batch) error {
+	if b.Empty() {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+	b.startSeq = db.lastSeq + 1
+	if err := db.wal.append(b.encode(nil), db.opts.SyncWrites); err != nil {
+		return err
+	}
+	if err := b.apply(db.mem); err != nil {
+		return err
+	}
+	db.lastSeq += uint64(b.count)
+	return nil
+}
+
+// makeRoomForWrite rotates the memtable when full and applies write stalls,
+// mirroring LevelDB's backpressure. Called with db.mu held.
+func (db *DB) makeRoomForWrite() error {
+	for {
+		switch {
+		case db.bgErr != nil:
+			return db.bgErr
+		case db.mem.approximateBytes() < db.opts.MemtableBytes:
+			return nil
+		case db.imm != nil:
+			// Previous flush still in progress: wait.
+			db.cond.Wait()
+			if db.closed {
+				return ErrClosed
+			}
+		case len(db.current.levels[0]) >= db.opts.L0StopWritesTrigger:
+			db.cond.Wait()
+			if db.closed {
+				return ErrClosed
+			}
+		default:
+			// Freeze the memtable and start a new WAL.
+			newNum := db.nextFile
+			db.nextFile++
+			wal, err := newWALWriter(walPath(db.dir, newNum))
+			if err != nil {
+				return err
+			}
+			db.wal.close()
+			db.imm = db.mem
+			db.immWal = db.walNum
+			db.mem = newMemtable()
+			db.wal = wal
+			db.walNum = newNum
+			db.scheduleBackground()
+		}
+	}
+}
+
+// scheduleBackground nudges the background loop. Called with db.mu held.
+func (db *DB) scheduleBackground() {
+	select {
+	case db.bgWork <- struct{}{}:
+	default:
+	}
+}
+
+// Get returns the value for key at the latest committed state.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	seq := db.lastSeq
+	db.mu.Unlock()
+	return db.getAt(key, seq)
+}
+
+// getAt reads key as of snapshot seq.
+func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem, imm, v := db.mem, db.imm, db.current
+	db.mu.Unlock()
+
+	if val, deleted, present := mem.get(key, seq); present {
+		if deleted {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), val...), nil
+	}
+	if imm != nil {
+		if val, deleted, present := imm.get(key, seq); present {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), val...), nil
+		}
+	}
+
+	lookup := makeInternalKey(nil, key, seq, kindSeek)
+
+	// L0: overlapping tables, newest first.
+	for _, t := range v.levels[0] {
+		if !t.overlaps(key, key) {
+			continue
+		}
+		val, done, err := db.tableGet(t, lookup)
+		if done || err != nil {
+			return val, err
+		}
+	}
+	// Deeper levels: binary search by internal key so versions of a user
+	// key that straddle a table boundary are found in the correct file.
+	for level := 1; level < numLevels; level++ {
+		tables := v.levels[level]
+		idx := sort.Search(len(tables), func(i int) bool {
+			return compareInternal(tables[i].largest, lookup) >= 0
+		})
+		if idx >= len(tables) {
+			continue
+		}
+		if bytes.Compare(tables[idx].smallest.userKey(), key) > 0 {
+			continue
+		}
+		val, done, err := db.tableGet(tables[idx], lookup)
+		if done || err != nil {
+			return val, err
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// tableGet probes one table. done=true means the lookup is resolved (value
+// or ErrNotFound via tombstone).
+func (db *DB) tableGet(t *tableMeta, lookup internalKey) (val []byte, done bool, err error) {
+	r, release, err := db.tcache.acquire(t.fileNum)
+	if err != nil {
+		return nil, true, err
+	}
+	defer release()
+	ik, v, present, err := r.get(lookup)
+	if err != nil {
+		return nil, true, err
+	}
+	if !present {
+		return nil, false, nil
+	}
+	if ik.kind() == kindDelete {
+		return nil, true, ErrNotFound
+	}
+	return v, true, nil
+}
+
+// Snapshot pins a consistent view of the database.
+type Snapshot struct {
+	db  *DB
+	seq uint64
+}
+
+// GetSnapshot returns a handle to the current state; callers must Release
+// it so compaction can reclaim shadowed versions.
+func (db *DB) GetSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.snaps[db.lastSeq]++
+	return &Snapshot{db: db, seq: db.lastSeq}
+}
+
+// Get reads key at the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.db.getAt(key, s.seq) }
+
+// Seq exposes the snapshot's sequence number (used by tests).
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Release unpins the snapshot. Idempotent.
+func (s *Snapshot) Release() {
+	if s.db == nil {
+		return
+	}
+	s.db.mu.Lock()
+	if n, ok := s.db.snaps[s.seq]; ok {
+		if n <= 1 {
+			delete(s.db.snaps, s.seq)
+		} else {
+			s.db.snaps[s.seq] = n - 1
+		}
+	}
+	s.db.mu.Unlock()
+	s.db = nil
+}
+
+// smallestSnapshot returns the lowest pinned sequence (or lastSeq). Called
+// with db.mu held.
+func (db *DB) smallestSnapshot() uint64 {
+	smallest := db.lastSeq
+	for seq := range db.snaps {
+		if seq < smallest {
+			smallest = seq
+		}
+	}
+	return smallest
+}
+
+// NewIterator returns a cursor over the latest committed state.
+func (db *DB) NewIterator() (*Iterator, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	seq := db.lastSeq
+	db.snaps[seq]++
+	db.mu.Unlock()
+	snap := &Snapshot{db: db, seq: seq}
+	it, err := db.newIteratorAt(seq)
+	if err != nil {
+		snap.Release()
+		return nil, err
+	}
+	inner := it.closer
+	it.closer = func() {
+		if inner != nil {
+			inner()
+		}
+		snap.Release()
+	}
+	return it, nil
+}
+
+// NewSnapshotIterator returns a cursor over the snapshot's state.
+func (s *Snapshot) NewIterator() (*Iterator, error) {
+	return s.db.newIteratorAt(s.seq)
+}
+
+// newIteratorAt assembles the merged iterator stack for sequence seq.
+func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem, imm, v := db.mem, db.imm, db.current
+	db.mu.Unlock()
+
+	var iters []internalIterator
+	iters = append(iters, mem.iterator())
+	if imm != nil {
+		iters = append(iters, imm.iterator())
+	}
+	// refs holds table-cache references pinned for the iterator's lifetime,
+	// so compaction can never close a reader out from under it.
+	var refs []func()
+	fail := func(err error) (*Iterator, error) {
+		for _, c := range refs {
+			c()
+		}
+		return nil, err
+	}
+	for _, t := range v.levels[0] {
+		r, release, err := db.tcache.acquire(t.fileNum)
+		if err != nil {
+			return fail(err)
+		}
+		refs = append(refs, release)
+		iters = append(iters, r.iterator())
+	}
+	for level := 1; level < numLevels; level++ {
+		if len(v.levels[level]) == 0 {
+			continue
+		}
+		for _, t := range v.levels[level] {
+			_, release, err := db.tcache.acquire(t.fileNum)
+			if err != nil {
+				return fail(err)
+			}
+			refs = append(refs, release)
+		}
+		iters = append(iters, newConcatIter(v.levels[level], func(t *tableMeta) (internalIterator, error) {
+			r, release, err := db.tcache.acquire(t.fileNum)
+			if err != nil {
+				return nil, err
+			}
+			return &releasingIter{internalIterator: r.iterator(), release: release}, nil
+		}))
+	}
+
+	merged := newMergingIter(iters...)
+	it := &Iterator{it: merged, seq: seq}
+	it.closer = func() {
+		for _, c := range refs {
+			c()
+		}
+	}
+	return it, nil
+}
+
+// LastSequence returns the newest committed sequence number.
+func (db *DB) LastSequence() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastSeq
+}
+
+// CompactNow triggers a compaction round and waits for background work to
+// go idle (used by tests and benchmarks for determinism).
+func (db *DB) CompactNow() error {
+	db.mu.Lock()
+	db.scheduleBackground()
+	for (db.imm != nil || db.bgActive || db.hasWork()) && db.bgErr == nil && !db.closed {
+		db.cond.Wait()
+	}
+	err := db.bgErr
+	db.mu.Unlock()
+	return err
+}
+
+// hasWork reports whether a flush or compaction is pending. Called with
+// db.mu held.
+func (db *DB) hasWork() bool {
+	if db.imm != nil {
+		return true
+	}
+	if db.opts.DisableCompaction {
+		return false
+	}
+	return db.pickCompactionLevel() >= 0
+}
+
+// Flush forces the current memtable to disk (used by tests).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.mem.len() > 0 {
+		for db.imm != nil && db.bgErr == nil && !db.closed {
+			db.cond.Wait()
+		}
+		if db.bgErr != nil || db.closed {
+			err := db.bgErr
+			db.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return err
+		}
+		newNum := db.nextFile
+		db.nextFile++
+		wal, err := newWALWriter(walPath(db.dir, newNum))
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.wal.close()
+		db.imm = db.mem
+		db.immWal = db.walNum
+		db.mem = newMemtable()
+		db.wal = wal
+		db.walNum = newNum
+		db.scheduleBackground()
+	}
+	for db.imm != nil && db.bgErr == nil && !db.closed {
+		db.cond.Wait()
+	}
+	err := db.bgErr
+	db.mu.Unlock()
+	return err
+}
+
+// TableCount returns the number of live tables per level (for tests and the
+// stats endpoint).
+func (db *DB) TableCount() [numLevels]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out [numLevels]int
+	for i := range db.current.levels {
+		out[i] = len(db.current.levels[i])
+	}
+	return out
+}
+
+// Close flushes state and releases all resources. The WAL preserves any
+// unflushed memtable contents.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+
+	close(db.bgQuit)
+	<-db.bgDone
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var firstErr error
+	if err := db.wal.close(); err != nil {
+		firstErr = err
+	}
+	if err := db.man.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	db.tcache.closeAll()
+	syscall.Flock(int(db.lock.Fd()), syscall.LOCK_UN)
+	if err := db.lock.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

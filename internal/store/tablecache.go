@@ -1,0 +1,115 @@
+package store
+
+import "sync"
+
+// tableCache keeps SSTable readers open and refcounted. Readers stay cached
+// until compaction obsoletes their table; an obsolete reader is closed as
+// soon as its last in-flight user releases it, so point reads and iterators
+// never race with file teardown.
+type tableCache struct {
+	mu     sync.Mutex
+	dir    string
+	tables map[uint64]*cachedTable
+	blocks *blockCache // shared across all readers, may be nil
+}
+
+type cachedTable struct {
+	reader *tableReader
+	// refs counts active users plus one for cache residency.
+	refs int
+	dead bool
+}
+
+func newTableCache(dir string, blockCacheBytes int) *tableCache {
+	return &tableCache{
+		dir:    dir,
+		tables: make(map[uint64]*cachedTable),
+		blocks: newBlockCache(blockCacheBytes),
+	}
+}
+
+// acquire returns an open reader for table fileNum and a release function
+// the caller must invoke when done.
+func (c *tableCache) acquire(fileNum uint64) (*tableReader, func(), error) {
+	c.mu.Lock()
+	ct, ok := c.tables[fileNum]
+	if ok {
+		ct.refs++
+		c.mu.Unlock()
+		return ct.reader, func() { c.release(fileNum, ct) }, nil
+	}
+	c.mu.Unlock()
+
+	// Open outside the lock; racing opens are reconciled below.
+	r, err := openTable(tablePath(c.dir, fileNum), c.blocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	if existing, ok := c.tables[fileNum]; ok {
+		existing.refs++
+		c.mu.Unlock()
+		r.close()
+		return existing.reader, func() { c.release(fileNum, existing) }, nil
+	}
+	ct = &cachedTable{reader: r, refs: 2} // 1 residency + 1 caller
+	c.tables[fileNum] = ct
+	c.mu.Unlock()
+	return ct.reader, func() { c.release(fileNum, ct) }, nil
+}
+
+func (c *tableCache) release(fileNum uint64, ct *cachedTable) {
+	c.mu.Lock()
+	ct.refs--
+	shouldClose := ct.dead && ct.refs == 0
+	c.mu.Unlock()
+	if shouldClose {
+		ct.reader.close()
+	}
+}
+
+// evict drops the cache's residency reference for fileNum; the reader closes
+// once in-flight users drain. Safe to call for tables never opened.
+func (c *tableCache) evict(fileNum uint64) {
+	c.mu.Lock()
+	ct, ok := c.tables[fileNum]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.tables, fileNum)
+	ct.dead = true
+	ct.refs--
+	shouldClose := ct.refs == 0
+	c.mu.Unlock()
+	if shouldClose {
+		ct.reader.close()
+	}
+}
+
+// closeAll closes every cached reader (DB shutdown).
+func (c *tableCache) closeAll() {
+	c.mu.Lock()
+	tables := c.tables
+	c.tables = make(map[uint64]*cachedTable)
+	c.mu.Unlock()
+	for _, ct := range tables {
+		ct.reader.close()
+	}
+}
+
+// releasingIter decorates an internalIterator with a release callback run
+// at Close, tying a table-cache reference to the iterator's lifetime.
+type releasingIter struct {
+	internalIterator
+	release func()
+}
+
+func (r *releasingIter) Close() error {
+	err := r.internalIterator.Close()
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	return err
+}

@@ -1,0 +1,240 @@
+// Package telemetry provides the latency and throughput instrumentation used
+// by the benchmark harness: log-scaled latency histograms with percentile
+// queries, and monotonic throughput counters.
+//
+// Recorders are safe for concurrent use; the histogram buckets are updated
+// with atomic increments so recording on the hot path costs a few
+// nanoseconds and never blocks.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount covers 1us .. ~1000s with ~4.4% resolution (log base 2^(1/16)).
+const (
+	bucketCount    = 512
+	bucketsPerOct  = 16
+	minTrackableUs = 1
+)
+
+// Histogram is a log-scaled latency histogram. The zero value is ready to
+// use.
+type Histogram struct {
+	buckets [bucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	maxUs   atomic.Uint64
+}
+
+// bucketIndex maps a latency in microseconds to its bucket.
+func bucketIndex(us uint64) int {
+	if us < minTrackableUs {
+		us = minTrackableUs
+	}
+	idx := int(math.Log2(float64(us)) * bucketsPerOct)
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// bucketValueUs returns the representative latency (upper bound) of bucket i
+// in microseconds.
+func bucketValueUs(i int) float64 {
+	return math.Exp2(float64(i+1) / bucketsPerOct)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.buckets[bucketIndex(us)].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		cur := h.maxUs.Load()
+		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUs.Load()/n) * time.Microsecond
+}
+
+// Max returns the largest recorded latency.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.maxUs.Load()) * time.Microsecond
+}
+
+// Quantile returns the latency at quantile q in [0,1], e.g. 0.5 for the
+// median and 0.99 for the 99th percentile.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i := 0; i < bucketCount; i++ {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			return time.Duration(bucketValueUs(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot summarizes the histogram.
+type Snapshot struct {
+	Count  uint64
+	Mean   time.Duration
+	Median time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// Snapshot returns a point-in-time summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Median: h.Quantile(0.5),
+		P99:    h.Quantile(0.99),
+		Max:    h.Max(),
+	}
+}
+
+// String renders the snapshot for harness output.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.Count, s.Mean, s.Median, s.P99, s.Max)
+}
+
+// Counter is a monotonically increasing event counter.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Registry names and aggregates histograms and counters for one experiment
+// run.
+type Registry struct {
+	mu         sync.Mutex
+	histograms map[string]*Histogram
+	counters   map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		histograms: make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Throughput measures completed operations over a wall-clock window.
+type Throughput struct {
+	ops   Counter
+	start time.Time
+}
+
+// NewThroughput starts a throughput window now.
+func NewThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Done records one completed operation.
+func (t *Throughput) Done() { t.ops.Inc() }
+
+// Ops returns the number of completed operations.
+func (t *Throughput) Ops() uint64 { return t.ops.Value() }
+
+// PerSecond returns the observed operations per second so far.
+func (t *Throughput) PerSecond() float64 {
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.ops.Value()) / elapsed
+}

@@ -1,0 +1,390 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble compiles the textual form of the bytecode into a validated
+// Module. The language is line-oriented:
+//
+//	;; comment (also "#")
+//	module minpages=1 maxpages=64        ; optional memory limits
+//	func NAME params=N locals=M export   ; "export" marks a public method
+//	  push 42
+//	  local.get 0
+//	  str "hello"        ; places the literal in the data segment and
+//	                     ; pushes its (ptr, len) pair
+//	  jz done
+//	loop:
+//	  jmp loop
+//	  call other_func    ; by name, resolved module-wide
+//	  hostcall kv_get    ; by name, resolved against the host table
+//	done:
+//	  ret
+//	end
+//
+// Labels are local to their function. String literals are deduplicated in
+// the module data segment.
+func Assemble(src string) (*Module, error) {
+	m := &Module{MinPages: 1, MaxPages: 256}
+	importIdx := make(map[string]int)
+	strIdx := make(map[string]int) // literal -> data offset
+
+	var refs []pendingRef
+
+	var cur *Func
+	var curLabels map[string]int
+	curIndex := -1
+
+	fail := func(lineNum int, format string, args ...any) error {
+		return fmt.Errorf("vm: asm line %d: %s", lineNum, fmt.Sprintf(format, args...))
+	}
+
+	lines := strings.Split(src, "\n")
+	for lineNum0, raw := range lines {
+		lineNum := lineNum0 + 1
+		line := raw
+		// Strip comments, but not inside string literals.
+		if i := commentIndex(line); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		fields := splitFields(line)
+		head := fields[0]
+
+		// Label definition.
+		if strings.HasSuffix(head, ":") && len(fields) == 1 {
+			if cur == nil {
+				return nil, fail(lineNum, "label outside function")
+			}
+			name := strings.TrimSuffix(head, ":")
+			if _, dup := curLabels[name]; dup {
+				return nil, fail(lineNum, "duplicate label %q", name)
+			}
+			curLabels[name] = len(cur.code)
+			continue
+		}
+
+		switch head {
+		case "module":
+			for _, f := range fields[1:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fail(lineNum, "bad module field %q", f)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fail(lineNum, "bad module value %q", f)
+				}
+				switch k {
+				case "minpages":
+					m.MinPages = n
+				case "maxpages":
+					m.MaxPages = n
+				default:
+					return nil, fail(lineNum, "unknown module field %q", k)
+				}
+			}
+
+		case "func":
+			if cur != nil {
+				return nil, fail(lineNum, "nested func")
+			}
+			if len(fields) < 2 {
+				return nil, fail(lineNum, "func needs a name")
+			}
+			f := Func{Name: fields[1]}
+			for _, opt := range fields[2:] {
+				if opt == "export" {
+					f.Exported = true
+					continue
+				}
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok {
+					return nil, fail(lineNum, "bad func option %q", opt)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fail(lineNum, "bad func option value %q", opt)
+				}
+				switch k {
+				case "params":
+					f.NumParams = n
+				case "locals":
+					f.NumLocals = n
+				default:
+					return nil, fail(lineNum, "unknown func option %q", k)
+				}
+			}
+			m.Funcs = append(m.Funcs, f)
+			curIndex = len(m.Funcs) - 1
+			cur = &m.Funcs[curIndex]
+			curLabels = make(map[string]int)
+
+		case "end":
+			if cur == nil {
+				return nil, fail(lineNum, "end outside function")
+			}
+			// Implicit trailing ret for convenience.
+			if len(cur.code) == 0 || !terminates(cur.code[len(cur.code)-1].op) {
+				cur.code = append(cur.code, instr{op: opRet})
+			}
+			// Resolve this function's labels.
+			for i := range refs {
+				r := &refs[i]
+				if r.fn != curIndex || r.isCall {
+					continue
+				}
+				target, ok := curLabels[r.target]
+				if !ok {
+					return nil, fail(r.line, "undefined label %q", r.target)
+				}
+				cur.code[r.pc].arg = int64(target)
+				r.target = "" // mark resolved
+			}
+			refs = compactRefs(refs)
+			cur = nil
+			curLabels = nil
+			curIndex = -1
+
+		case "str":
+			if cur == nil {
+				return nil, fail(lineNum, "instruction outside function")
+			}
+			if len(fields) < 2 {
+				return nil, fail(lineNum, "str needs a literal")
+			}
+			lit, err := strconv.Unquote(strings.TrimSpace(line[len("str"):]))
+			if err != nil {
+				return nil, fail(lineNum, "bad string literal: %v", err)
+			}
+			off, ok := strIdx[lit]
+			if !ok {
+				off = len(m.Data)
+				m.Data = append(m.Data, lit...)
+				strIdx[lit] = off
+			}
+			cur.code = append(cur.code,
+				instr{op: opPush, arg: int64(off)},
+				instr{op: opPush, arg: int64(len(lit))})
+
+		case "unpack.ptr":
+			// Pseudo-op: packed (ptr<<32|len) handle -> ptr.
+			if cur == nil {
+				return nil, fail(lineNum, "instruction outside function")
+			}
+			cur.code = append(cur.code,
+				instr{op: opPush, arg: 32},
+				instr{op: opShrU})
+
+		case "unpack.len":
+			// Pseudo-op: packed (ptr<<32|len) handle -> len.
+			if cur == nil {
+				return nil, fail(lineNum, "instruction outside function")
+			}
+			cur.code = append(cur.code,
+				instr{op: opPush, arg: 0xffffffff},
+				instr{op: opAnd})
+
+		default:
+			if cur == nil {
+				return nil, fail(lineNum, "instruction outside function")
+			}
+			op, ok := opByName[head]
+			if !ok {
+				return nil, fail(lineNum, "unknown instruction %q", head)
+			}
+			in := instr{op: op}
+			if hasOperand[op] {
+				if len(fields) < 2 {
+					return nil, fail(lineNum, "%s needs an operand", head)
+				}
+				operand := fields[1]
+				switch {
+				case isBranch[op]:
+					refs = append(refs, pendingRef{fn: curIndex, pc: len(cur.code), target: operand, line: lineNum})
+				case op == opCall:
+					refs = append(refs, pendingRef{fn: curIndex, pc: len(cur.code), target: operand, line: lineNum, isCall: true})
+				case op == opHostCall:
+					idx, ok := importIdx[operand]
+					if !ok {
+						idx = len(m.Imports)
+						m.Imports = append(m.Imports, operand)
+						importIdx[operand] = idx
+					}
+					in.arg = int64(idx)
+				default:
+					n, err := strconv.ParseInt(operand, 0, 64)
+					if err != nil {
+						return nil, fail(lineNum, "bad operand %q", operand)
+					}
+					in.arg = n
+				}
+			}
+			cur.code = append(cur.code, in)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("vm: asm: unterminated func %q", cur.Name)
+	}
+
+	// Resolve cross-function calls.
+	if err := m.buildIndex(); err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		if !r.isCall {
+			continue
+		}
+		idx := m.FuncIndex(r.target)
+		if idx < 0 {
+			return nil, fmt.Errorf("vm: asm line %d: undefined function %q", r.line, r.target)
+		}
+		m.Funcs[r.fn].code[r.pc].arg = int64(idx)
+	}
+
+	// Grow MinPages if the data segment outgrew the default single page.
+	if need := (len(m.Data) + PageBytes - 1) / PageBytes; need > m.MinPages {
+		m.MinPages = need
+	}
+	if m.MaxPages < m.MinPages {
+		m.MaxPages = m.MinPages
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustAssemble panics on assembly errors; for statically known-good sources
+// (package-level application definitions, tests).
+func MustAssemble(src string) *Module {
+	m, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// terminates reports whether op ends a basic block such that an implicit
+// trailing ret would be unreachable.
+func terminates(op opcode) bool {
+	return op == opRet || op == opHalt || op == opJmp || op == opUnreachable
+}
+
+// commentIndex finds the start of a ;; or # comment outside string quotes.
+func commentIndex(line string) int {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '#':
+			return i
+		case ';':
+			return i
+		}
+	}
+	return -1
+}
+
+// splitFields splits on whitespace, respecting double-quoted literals.
+func splitFields(line string) []string {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		if line[i] == '"' {
+			i++
+			for i < len(line) {
+				if line[i] == '\\' {
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+		} else {
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		}
+		out = append(out, line[start:i])
+	}
+	return out
+}
+
+// pendingRef is an unresolved label or call reference recorded during
+// assembly.
+type pendingRef struct {
+	fn     int
+	pc     int
+	target string
+	line   int
+	isCall bool
+}
+
+// compactRefs drops resolved (empty-target) entries.
+func compactRefs(refs []pendingRef) []pendingRef {
+	out := refs[:0]
+	for _, r := range refs {
+		if r.target != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Disassemble renders a module back to (approximate) assembly, for
+// debugging and the lambdactl CLI.
+func Disassemble(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module minpages=%d maxpages=%d\n", m.MinPages, m.MaxPages)
+	if len(m.Data) > 0 {
+		fmt.Fprintf(&b, ";; data segment: %d bytes\n", len(m.Data))
+	}
+	for _, f := range m.Funcs {
+		export := ""
+		if f.Exported {
+			export = " export"
+		}
+		fmt.Fprintf(&b, "func %s params=%d locals=%d%s\n", f.Name, f.NumParams, f.NumLocals, export)
+		for pc, in := range f.code {
+			switch {
+			case in.op == opCall:
+				fmt.Fprintf(&b, "  %4d: call %s\n", pc, m.Funcs[in.arg].Name)
+			case in.op == opHostCall:
+				fmt.Fprintf(&b, "  %4d: hostcall %s\n", pc, m.Imports[in.arg])
+			default:
+				fmt.Fprintf(&b, "  %4d: %s\n", pc, in)
+			}
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}

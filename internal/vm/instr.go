@@ -1,0 +1,167 @@
+// Package vm implements the isolation runtime LambdaStore executes object
+// methods in. The paper's prototype embeds WebAssembly; under the stdlib-only
+// constraint this package provides the same properties from scratch: guest
+// functions are untrusted bytecode for a stack machine with a linear memory,
+// every memory access is bounds-checked (software fault isolation), and
+// execution is metered with a fuel budget so a runaway function cannot
+// monopolize a storage node. Guests interact with the outside world only
+// through an explicit host-call table.
+//
+// A small assembler (see asm.go) compiles a textual form of the bytecode so
+// applications — including the Retwis methods used by the paper's
+// evaluation — can be written readably.
+package vm
+
+import "fmt"
+
+// opcode identifies one VM instruction.
+type opcode uint8
+
+// Instruction set. Values are i64; comparison results are 0 or 1.
+const (
+	opNop opcode = iota
+	opUnreachable
+
+	// Stack manipulation.
+	opPush // operand: immediate value
+	opPop
+	opDup
+	opSwap
+
+	// Locals (function parameters first, then declared locals).
+	opLocalGet // operand: local index
+	opLocalSet // operand: local index
+	opLocalTee // operand: local index
+
+	// Control flow. Branch operands are absolute instruction indices.
+	opJmp  // operand: target
+	opJz   // operand: target; pops condition, jumps if zero
+	opJnz  // operand: target; pops condition, jumps if nonzero
+	opCall // operand: function index within the module
+	opRet
+	opHalt
+
+	// Arithmetic and bitwise (pop b, pop a, push a OP b).
+	opAdd
+	opSub
+	opMul
+	opDivS // traps on divide by zero or MinInt64/-1 overflow
+	opRemS // traps on divide by zero
+	opAnd
+	opOr
+	opXor
+	opShl
+	opShrS
+	opShrU
+
+	// Comparisons (pop b, pop a, push bool).
+	opEq
+	opNe
+	opLtS
+	opGtS
+	opLeS
+	opGeS
+	opEqz // pops one value, pushes value == 0
+
+	// Linear memory. Addresses are popped from the stack; every access is
+	// bounds-checked against the current memory size.
+	opLoad8U  // pop addr, push zero-extended byte
+	opLoad64  // pop addr, push little-endian u64
+	opStore8  // pop value, pop addr
+	opStore64 // pop value, pop addr
+	opMemSize // push current memory size in bytes
+	opMemGrow // pop additional bytes, push old size (traps past max)
+
+	// Host interface.
+	opHostCall // operand: import index; arity defined by the host function
+
+	opMax // sentinel
+)
+
+// hasOperand reports which opcodes carry an immediate operand.
+var hasOperand = [opMax]bool{
+	opPush:     true,
+	opLocalGet: true,
+	opLocalSet: true,
+	opLocalTee: true,
+	opJmp:      true,
+	opJz:       true,
+	opJnz:      true,
+	opCall:     true,
+	opHostCall: true,
+}
+
+// isBranch reports which opcodes have an instruction-index operand that
+// validation must range-check.
+var isBranch = [opMax]bool{opJmp: true, opJz: true, opJnz: true}
+
+// opNames maps opcodes to their assembly mnemonics.
+var opNames = [opMax]string{
+	opNop:         "nop",
+	opUnreachable: "unreachable",
+	opPush:        "push",
+	opPop:         "pop",
+	opDup:         "dup",
+	opSwap:        "swap",
+	opLocalGet:    "local.get",
+	opLocalSet:    "local.set",
+	opLocalTee:    "local.tee",
+	opJmp:         "jmp",
+	opJz:          "jz",
+	opJnz:         "jnz",
+	opCall:        "call",
+	opRet:         "ret",
+	opHalt:        "halt",
+	opAdd:         "add",
+	opSub:         "sub",
+	opMul:         "mul",
+	opDivS:        "div_s",
+	opRemS:        "rem_s",
+	opAnd:         "and",
+	opOr:          "or",
+	opXor:         "xor",
+	opShl:         "shl",
+	opShrS:        "shr_s",
+	opShrU:        "shr_u",
+	opEq:          "eq",
+	opNe:          "ne",
+	opLtS:         "lt_s",
+	opGtS:         "gt_s",
+	opLeS:         "le_s",
+	opGeS:         "ge_s",
+	opEqz:         "eqz",
+	opLoad8U:      "load8_u",
+	opLoad64:      "load64",
+	opStore8:      "store8",
+	opStore64:     "store64",
+	opMemSize:     "memsize",
+	opMemGrow:     "memgrow",
+	opHostCall:    "hostcall",
+}
+
+// opByName is the reverse mapping used by the assembler.
+var opByName = func() map[string]opcode {
+	m := make(map[string]opcode, opMax)
+	for op := opcode(0); op < opMax; op++ {
+		if opNames[op] != "" {
+			m[opNames[op]] = op
+		}
+	}
+	return m
+}()
+
+// instr is one decoded instruction.
+type instr struct {
+	op  opcode
+	arg int64
+}
+
+func (in instr) String() string {
+	if in.op < opMax && hasOperand[in.op] {
+		return fmt.Sprintf("%s %d", opNames[in.op], in.arg)
+	}
+	if in.op < opMax {
+		return opNames[in.op]
+	}
+	return fmt.Sprintf("op(%d)", in.op)
+}

@@ -1,0 +1,285 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"lambdastore/internal/wire"
+)
+
+// PageBytes is the granularity of linear memory growth (the WASM page size).
+const PageBytes = 64 << 10
+
+// Limits guarding against hostile modules.
+const (
+	maxFunctions  = 4096
+	maxCodeLen    = 1 << 20
+	maxLocals     = 256
+	maxImports    = 256
+	maxDataBytes  = 8 << 20
+	maxMemoryMax  = 1 << 30
+	moduleMagic   = 0x4c4f564d // "LOVM"
+	moduleVersion = 1
+)
+
+// Validation and decode errors.
+var (
+	ErrBadModule = errors.New("vm: malformed module")
+)
+
+// Func is one guest function: params arrive as the first NumParams locals;
+// the function's return values are whatever remains on the value stack when
+// it returns to the caller (0 or more, but the public entry points expect
+// at most one).
+type Func struct {
+	Name      string
+	NumParams int
+	NumLocals int // locals beyond the parameters, zero-initialized
+	Exported  bool
+	code      []instr
+}
+
+// Module is a validated unit of guest code: a set of functions, the host
+// imports they reference, and an initial data segment copied into linear
+// memory at instantiation. Modules are immutable and safely shared by
+// concurrent instances.
+type Module struct {
+	Funcs    []Func
+	Imports  []string // host function names referenced by opHostCall
+	Data     []byte   // initial memory image, placed at address 0
+	MinPages int
+	MaxPages int
+
+	funcIdx map[string]int
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (m *Module) FuncIndex(name string) int {
+	if i, ok := m.funcIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasExport reports whether name is an exported function of the module.
+func (m *Module) HasExport(name string) bool {
+	i := m.FuncIndex(name)
+	return i >= 0 && m.Funcs[i].Exported
+}
+
+// ExportNames returns the names of all exported functions.
+func (m *Module) ExportNames() []string {
+	var names []string
+	for _, f := range m.Funcs {
+		if f.Exported {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+// buildIndex populates the name index and checks for duplicates.
+func (m *Module) buildIndex() error {
+	m.funcIdx = make(map[string]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		if f.Name == "" {
+			return fmt.Errorf("%w: function %d unnamed", ErrBadModule, i)
+		}
+		if _, dup := m.funcIdx[f.Name]; dup {
+			return fmt.Errorf("%w: duplicate function %q", ErrBadModule, f.Name)
+		}
+		m.funcIdx[f.Name] = i
+	}
+	return nil
+}
+
+// Validate checks structural invariants so the interpreter can execute
+// without re-checking: known opcodes, in-range branch targets, local
+// indices, function and import indices. (Memory accesses and stack depth
+// are necessarily checked at runtime.)
+func (m *Module) Validate() error {
+	if len(m.Funcs) == 0 || len(m.Funcs) > maxFunctions {
+		return fmt.Errorf("%w: %d functions", ErrBadModule, len(m.Funcs))
+	}
+	if len(m.Imports) > maxImports {
+		return fmt.Errorf("%w: %d imports", ErrBadModule, len(m.Imports))
+	}
+	if len(m.Data) > maxDataBytes {
+		return fmt.Errorf("%w: data segment %d bytes", ErrBadModule, len(m.Data))
+	}
+	if m.MinPages <= 0 {
+		m.MinPages = 1
+	}
+	if m.MaxPages <= 0 {
+		m.MaxPages = 256 // 16 MiB default ceiling
+	}
+	if m.MaxPages*PageBytes > maxMemoryMax {
+		return fmt.Errorf("%w: max memory too large", ErrBadModule)
+	}
+	if m.MinPages > m.MaxPages {
+		return fmt.Errorf("%w: min pages %d > max pages %d", ErrBadModule, m.MinPages, m.MaxPages)
+	}
+	if len(m.Data) > m.MinPages*PageBytes {
+		return fmt.Errorf("%w: data segment exceeds initial memory", ErrBadModule)
+	}
+	if err := m.buildIndex(); err != nil {
+		return err
+	}
+	for fi := range m.Funcs {
+		f := &m.Funcs[fi]
+		if f.NumParams < 0 || f.NumLocals < 0 || f.NumParams+f.NumLocals > maxLocals {
+			return fmt.Errorf("%w: func %q locals", ErrBadModule, f.Name)
+		}
+		if len(f.code) == 0 || len(f.code) > maxCodeLen {
+			return fmt.Errorf("%w: func %q code length %d", ErrBadModule, f.Name, len(f.code))
+		}
+		nLocals := int64(f.NumParams + f.NumLocals)
+		for pc, in := range f.code {
+			if in.op >= opMax || opNames[in.op] == "" {
+				return fmt.Errorf("%w: func %q pc %d: unknown opcode %d", ErrBadModule, f.Name, pc, in.op)
+			}
+			switch {
+			case isBranch[in.op]:
+				if in.arg < 0 || in.arg >= int64(len(f.code)) {
+					return fmt.Errorf("%w: func %q pc %d: branch target %d out of range", ErrBadModule, f.Name, pc, in.arg)
+				}
+			case in.op == opLocalGet || in.op == opLocalSet || in.op == opLocalTee:
+				if in.arg < 0 || in.arg >= nLocals {
+					return fmt.Errorf("%w: func %q pc %d: local %d out of range", ErrBadModule, f.Name, pc, in.arg)
+				}
+			case in.op == opCall:
+				if in.arg < 0 || in.arg >= int64(len(m.Funcs)) {
+					return fmt.Errorf("%w: func %q pc %d: call target %d out of range", ErrBadModule, f.Name, pc, in.arg)
+				}
+			case in.op == opHostCall:
+				if in.arg < 0 || in.arg >= int64(len(m.Imports)) {
+					return fmt.Errorf("%w: func %q pc %d: import %d out of range", ErrBadModule, f.Name, pc, in.arg)
+				}
+			}
+		}
+		// Every function must end in an instruction that cannot fall off the
+		// end: ret, halt, jmp or unreachable.
+		last := f.code[len(f.code)-1].op
+		if last != opRet && last != opHalt && last != opJmp && last != opUnreachable {
+			return fmt.Errorf("%w: func %q may fall off the end", ErrBadModule, f.Name)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the module. The binary form is what LambdaStore stores
+// inside object types and ships between nodes.
+func (m *Module) Encode() []byte {
+	var b []byte
+	b = wire.AppendUint32(b, moduleMagic)
+	b = wire.AppendUint32(b, moduleVersion)
+	b = wire.AppendUvarint(b, uint64(m.MinPages))
+	b = wire.AppendUvarint(b, uint64(m.MaxPages))
+	b = wire.AppendBytes(b, m.Data)
+	b = wire.AppendUvarint(b, uint64(len(m.Imports)))
+	for _, imp := range m.Imports {
+		b = wire.AppendString(b, imp)
+	}
+	b = wire.AppendUvarint(b, uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		b = wire.AppendString(b, f.Name)
+		b = wire.AppendUvarint(b, uint64(f.NumParams))
+		b = wire.AppendUvarint(b, uint64(f.NumLocals))
+		exported := uint64(0)
+		if f.Exported {
+			exported = 1
+		}
+		b = wire.AppendUvarint(b, exported)
+		b = wire.AppendUvarint(b, uint64(len(f.code)))
+		for _, in := range f.code {
+			b = append(b, byte(in.op))
+			if hasOperand[in.op] {
+				b = wire.AppendVarint(b, in.arg)
+			}
+		}
+	}
+	return b
+}
+
+// Decode parses and validates a serialized module.
+func Decode(data []byte) (*Module, error) {
+	magic, rest, err := wire.Uint32(data)
+	if err != nil || magic != moduleMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadModule)
+	}
+	version, rest, err := wire.Uint32(rest)
+	if err != nil || version != moduleVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadModule)
+	}
+	m := &Module{}
+	var u uint64
+	if u, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("%w: min pages", ErrBadModule)
+	}
+	m.MinPages = int(u)
+	if u, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("%w: max pages", ErrBadModule)
+	}
+	m.MaxPages = int(u)
+	var raw []byte
+	if raw, rest, err = wire.Bytes(rest); err != nil {
+		return nil, fmt.Errorf("%w: data segment", ErrBadModule)
+	}
+	m.Data = append([]byte(nil), raw...)
+	if u, rest, err = wire.Uvarint(rest); err != nil || u > maxImports {
+		return nil, fmt.Errorf("%w: import count", ErrBadModule)
+	}
+	for i := uint64(0); i < u; i++ {
+		var s string
+		if s, rest, err = wire.String(rest); err != nil {
+			return nil, fmt.Errorf("%w: import name", ErrBadModule)
+		}
+		m.Imports = append(m.Imports, s)
+	}
+	var nf uint64
+	if nf, rest, err = wire.Uvarint(rest); err != nil || nf > maxFunctions {
+		return nil, fmt.Errorf("%w: function count", ErrBadModule)
+	}
+	for i := uint64(0); i < nf; i++ {
+		var f Func
+		if f.Name, rest, err = wire.String(rest); err != nil {
+			return nil, fmt.Errorf("%w: func name", ErrBadModule)
+		}
+		if u, rest, err = wire.Uvarint(rest); err != nil {
+			return nil, fmt.Errorf("%w: func params", ErrBadModule)
+		}
+		f.NumParams = int(u)
+		if u, rest, err = wire.Uvarint(rest); err != nil {
+			return nil, fmt.Errorf("%w: func locals", ErrBadModule)
+		}
+		f.NumLocals = int(u)
+		if u, rest, err = wire.Uvarint(rest); err != nil {
+			return nil, fmt.Errorf("%w: func export flag", ErrBadModule)
+		}
+		f.Exported = u != 0
+		var codeLen uint64
+		if codeLen, rest, err = wire.Uvarint(rest); err != nil || codeLen > maxCodeLen {
+			return nil, fmt.Errorf("%w: func code length", ErrBadModule)
+		}
+		f.code = make([]instr, 0, codeLen)
+		for c := uint64(0); c < codeLen; c++ {
+			if len(rest) == 0 {
+				return nil, fmt.Errorf("%w: truncated code", ErrBadModule)
+			}
+			op := opcode(rest[0])
+			rest = rest[1:]
+			var arg int64
+			if op < opMax && hasOperand[op] {
+				if arg, rest, err = wire.Varint(rest); err != nil {
+					return nil, fmt.Errorf("%w: instruction operand", ErrBadModule)
+				}
+			}
+			f.code = append(f.code, instr{op: op, arg: arg})
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

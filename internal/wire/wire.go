@@ -1,0 +1,198 @@
+// Package wire implements the low-level binary encoding primitives shared
+// by the write-ahead log, SSTable format, replication stream, and RPC
+// framing: unsigned/signed varints, length-prefixed byte strings, and
+// CRC-checksummed frames.
+//
+// All encoders append to a caller-supplied buffer and return the extended
+// slice; all decoders consume from the front of a slice and return the
+// remainder, so callers can chain them without extra allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Encoding errors returned by the decode helpers.
+var (
+	ErrShortBuffer = errors.New("wire: buffer too short")
+	ErrOverflow    = errors.New("wire: varint overflows 64 bits")
+	ErrChecksum    = errors.New("wire: checksum mismatch")
+	ErrTooLarge    = errors.New("wire: length prefix exceeds limit")
+)
+
+// castagnoli is the CRC-32C polynomial table used for all frame checksums,
+// matching the polynomial LevelDB and most storage systems use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C checksum of data.
+func Checksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// AppendUvarint appends v in unsigned LEB128 form.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v in zig-zag signed LEB128 form.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// Uvarint decodes an unsigned varint from the front of b and returns the
+// value and the remaining bytes.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n > 0 {
+		return v, b[n:], nil
+	}
+	if n == 0 {
+		return 0, b, ErrShortBuffer
+	}
+	return 0, b, ErrOverflow
+}
+
+// Varint decodes a signed varint from the front of b and returns the value
+// and the remaining bytes.
+func Varint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n > 0 {
+		return v, b[n:], nil
+	}
+	if n == 0 {
+		return 0, b, ErrShortBuffer
+	}
+	return 0, b, ErrOverflow
+}
+
+// AppendUint32 appends v in little-endian fixed width.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// AppendUint64 appends v in little-endian fixed width.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// Uint32 decodes a fixed-width little-endian uint32 from the front of b.
+func Uint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, b, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+// Uint64 decodes a fixed-width little-endian uint64 from the front of b.
+func Uint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// MaxBytesLen bounds the length prefix accepted by Bytes to guard against
+// corrupted or malicious inputs requesting absurd allocations.
+const MaxBytesLen = 64 << 20 // 64 MiB
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Bytes decodes a length-prefixed byte string. The returned slice aliases b;
+// callers that retain it across buffer reuse must copy.
+func Bytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := Uvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if n > MaxBytesLen {
+		return nil, b, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if uint64(len(rest)) < n {
+		return nil, b, ErrShortBuffer
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// String decodes a length-prefixed string (copying out of b).
+func String(b []byte) (string, []byte, error) {
+	raw, rest, err := Bytes(b)
+	if err != nil {
+		return "", b, err
+	}
+	return string(raw), rest, nil
+}
+
+// AppendFrame appends payload wrapped in a checksummed frame:
+//
+//	uvarint length | payload | crc32c(payload) fixed32
+//
+// Frames are the unit of corruption detection in the WAL and the
+// replication stream.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return AppendUint32(dst, Checksum(payload))
+}
+
+// Frame decodes a checksummed frame, verifying the CRC. The returned payload
+// aliases b.
+func Frame(b []byte) ([]byte, []byte, error) {
+	payload, rest, err := Bytes(b)
+	if err != nil {
+		return nil, b, err
+	}
+	sum, rest, err := Uint32(rest)
+	if err != nil {
+		return nil, b, err
+	}
+	if sum != Checksum(payload) {
+		return nil, b, ErrChecksum
+	}
+	return payload, rest, nil
+}
+
+// AppendBytesSlice appends a count-prefixed sequence of byte strings.
+func AppendBytesSlice(dst []byte, items [][]byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = AppendBytes(dst, it)
+	}
+	return dst
+}
+
+// BytesSlice decodes a count-prefixed sequence of byte strings. Each element
+// aliases b.
+func BytesSlice(b []byte) ([][]byte, []byte, error) {
+	n, rest, err := Uvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	// Each element needs at least one length byte, so the count can never
+	// exceed the remaining buffer — reject early instead of trusting it.
+	if n > uint64(len(rest)) {
+		return nil, b, fmt.Errorf("%w: %d items in %d bytes", ErrTooLarge, n, len(rest))
+	}
+	items := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var it []byte
+		it, rest, err = Bytes(rest)
+		if err != nil {
+			return nil, b, err
+		}
+		items = append(items, it)
+	}
+	return items, rest, nil
+}

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64} {
+		b := AppendUvarint(nil, v)
+		got, rest, err := Uvarint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("uvarint %d: got %d, rest %d, err %v", v, got, len(rest), err)
+		}
+	}
+	if _, _, err := Uvarint(nil); err != ErrShortBuffer {
+		t.Fatal("empty buffer must fail")
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, -1, 1, math.MinInt64, math.MaxInt64, -123456} {
+		b := AppendVarint(nil, v)
+		got, rest, err := Varint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("varint %d: got %d, err %v", v, got, err)
+		}
+	}
+}
+
+func TestFixedWidthRoundTrip(t *testing.T) {
+	b := AppendUint32(nil, 0xdeadbeef)
+	b = AppendUint64(b, 0x0123456789abcdef)
+	v32, rest, err := Uint32(b)
+	if err != nil || v32 != 0xdeadbeef {
+		t.Fatalf("u32 = %x, %v", v32, err)
+	}
+	v64, rest, err := Uint64(rest)
+	if err != nil || v64 != 0x0123456789abcdef || len(rest) != 0 {
+		t.Fatalf("u64 = %x, %v", v64, err)
+	}
+	if _, _, err := Uint32([]byte{1, 2}); err != ErrShortBuffer {
+		t.Fatal("short u32 must fail")
+	}
+	if _, _, err := Uint64([]byte{1}); err != ErrShortBuffer {
+		t.Fatal("short u64 must fail")
+	}
+}
+
+func TestBytesAndString(t *testing.T) {
+	b := AppendBytes(nil, []byte("hello"))
+	b = AppendString(b, "")
+	b = AppendBytes(b, nil)
+	v, rest, err := Bytes(b)
+	if err != nil || string(v) != "hello" {
+		t.Fatalf("bytes = %q, %v", v, err)
+	}
+	s, rest, err := String(rest)
+	if err != nil || s != "" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+	v, rest, err = Bytes(rest)
+	if err != nil || len(v) != 0 || len(rest) != 0 {
+		t.Fatalf("nil bytes = %q, %v", v, err)
+	}
+	// Truncated payload.
+	trunc := AppendUvarint(nil, 100)
+	if _, _, err := Bytes(append(trunc, "short"...)); err != ErrShortBuffer {
+		t.Fatalf("truncated bytes err = %v", err)
+	}
+	// Absurd length rejected before allocation.
+	huge := AppendUvarint(nil, MaxBytesLen+1)
+	if _, _, err := Bytes(huge); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestFrame(t *testing.T) {
+	payload := []byte("framed payload")
+	b := AppendFrame(nil, payload)
+	got, rest, err := Frame(b)
+	if err != nil || !bytes.Equal(got, payload) || len(rest) != 0 {
+		t.Fatalf("frame: %q %v", got, err)
+	}
+	// Corrupt one payload byte: checksum must catch it.
+	bad := append([]byte(nil), b...)
+	bad[2] ^= 0x40
+	if _, _, err := Frame(bad); err != ErrChecksum {
+		t.Fatalf("corrupt frame err = %v", err)
+	}
+	// Truncated frame.
+	if _, _, err := Frame(b[:len(b)-2]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestBytesSlice(t *testing.T) {
+	items := [][]byte{[]byte("a"), nil, []byte("ccc"), {0, 1, 2}}
+	b := AppendBytesSlice(nil, items)
+	got, rest, err := BytesSlice(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range items {
+		if !bytes.Equal(got[i], items[i]) {
+			t.Fatalf("item %d = %q", i, got[i])
+		}
+	}
+	if _, _, err := BytesSlice([]byte{5}); err == nil {
+		t.Fatal("truncated slice accepted")
+	}
+}
+
+func TestQuickRoundTrips(t *testing.T) {
+	f := func(u uint64, i int64, raw []byte, items [][]byte) bool {
+		var b []byte
+		b = AppendUvarint(b, u)
+		b = AppendVarint(b, i)
+		b = AppendBytes(b, raw)
+		b = AppendBytesSlice(b, items)
+		b = AppendFrame(b, raw)
+
+		gu, rest, err := Uvarint(b)
+		if err != nil || gu != u {
+			return false
+		}
+		gi, rest, err := Varint(rest)
+		if err != nil || gi != i {
+			return false
+		}
+		graw, rest, err := Bytes(rest)
+		if err != nil || !bytes.Equal(graw, raw) {
+			return false
+		}
+		gitems, rest, err := BytesSlice(rest)
+		if err != nil || len(gitems) != len(items) {
+			return false
+		}
+		for j := range items {
+			if !bytes.Equal(gitems[j], items[j]) {
+				return false
+			}
+		}
+		gframe, rest, err := Frame(rest)
+		return err == nil && bytes.Equal(gframe, raw) && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		Uvarint(garbage)
+		Varint(garbage)
+		Uint32(garbage)
+		Uint64(garbage)
+		Bytes(garbage)
+		String(garbage)
+		BytesSlice(garbage)
+		Frame(garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
