@@ -1,0 +1,40 @@
+# LambdaStore build and test entry points.
+#
+#   make build   compile everything (library + commands)
+#   make test    full test suite
+#   make race    race-detector pass over the concurrency-heavy packages
+#   make bench   telemetry hot-path benchmarks (must report 0 allocs/op)
+#   make vet     gofmt + go vet hygiene
+#   make check   everything the CI gate runs
+
+GO ?= go
+
+.PHONY: all build test race bench vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages where a data race would actually hide: the runtime, the
+# cluster node, and the telemetry instruments themselves.
+race:
+	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/telemetry/
+
+bench:
+	$(GO) test -run Telemetry -bench . -benchmem ./internal/telemetry/
+
+vet:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+check: vet build test
+
+clean:
+	$(GO) clean ./...

@@ -72,11 +72,11 @@ func main() {
 			fmt.Printf("A3: fuel metering overhead: metered=%v unmetered=%v overhead=%.2fx\n",
 				metered, unmetered, float64(metered)/float64(unmetered))
 		case "sched":
-			res, notes, err := bench.RunAblationSched(opts)
+			res, probes, err := bench.RunAblationSched(opts)
 			if err != nil {
 				log.Fatalf("lambda-bench: sched: %v", err)
 			}
-			bench.PrintAblation(os.Stdout, "A4: per-object scheduling (Follow)", res, notes)
+			bench.PrintAblation(os.Stdout, "A4: per-object scheduling (Follow)", res, bench.ProbeNotes(probes))
 		case "netdelay":
 			delays := []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond}
 			out, err := bench.RunAblationNetDelay(opts, delays)

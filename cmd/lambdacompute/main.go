@@ -24,16 +24,19 @@ import (
 
 	"lambdastore/internal/baseline"
 	"lambdastore/internal/core"
+	"lambdastore/internal/debug"
+	"lambdastore/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7200", "RPC listen address")
-		storage = flag.String("storage", "", "storage primary address (required)")
-		lbAddr  = flag.String("lb", "", "external load balancer address for nested calls")
-		withLB  = flag.String("with-lb", "", "also run a load balancer on this address")
-		lbLog   = flag.String("lb-log", "", "request log directory for -with-lb")
-		fuel    = flag.Int64("fuel", core.DefaultFuel, "per-invocation fuel budget")
+		addr      = flag.String("addr", "127.0.0.1:7200", "RPC listen address")
+		storage   = flag.String("storage", "", "storage primary address (required)")
+		lbAddr    = flag.String("lb", "", "external load balancer address for nested calls")
+		withLB    = flag.String("with-lb", "", "also run a load balancer on this address")
+		lbLog     = flag.String("lb-log", "", "request log directory for -with-lb")
+		fuel      = flag.Int64("fuel", core.DefaultFuel, "per-invocation fuel budget")
+		debugAddr = flag.String("debug", "", "debug HTTP address for /metrics, /healthz, pprof (empty disables)")
 	)
 	flag.Parse()
 	if *storage == "" {
@@ -42,15 +45,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := telemetry.NewRegistry()
 	compute, err := baseline.StartCompute(baseline.ComputeOptions{
 		Addr:    *addr,
 		Storage: *storage,
 		Fuel:    *fuel,
+		Metrics: reg,
 	})
 	if err != nil {
 		log.Fatalf("lambdacompute: start: %v", err)
 	}
 	log.Printf("lambdacompute: serving on %s (storage %s)", compute.Addr(), *storage)
+
+	var dbg *debug.Server
+	if *debugAddr != "" {
+		dbg, err = debug.Start(*debugAddr, debug.Options{Registry: reg})
+		if err != nil {
+			log.Fatalf("lambdacompute: debug: %v", err)
+		}
+		log.Printf("lambdacompute: debug endpoints on http://%s", dbg.Addr())
+	}
 
 	var lb *baseline.LoadBalancer
 	if *withLB != "" {
@@ -75,6 +89,9 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("lambdacompute: shutting down")
+	if dbg != nil {
+		dbg.Close()
+	}
 	if lb != nil {
 		lb.Close()
 	}

@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"lambdastore/internal/coordinator"
+	"lambdastore/internal/debug"
 	"lambdastore/internal/paxos"
 	"lambdastore/internal/rpc"
+	"lambdastore/internal/telemetry"
 )
 
 func parsePeers(s string) (map[uint64]string, []uint64, error) {
@@ -57,6 +59,7 @@ func main() {
 		peers     = flag.String("peers", "", "all replicas as id=addr,... (including self)")
 		hbTimeout = flag.Duration("heartbeat-timeout", 2*time.Second, "declare a node dead after this silence")
 		dataDir   = flag.String("data", "", "directory for the durable acceptor log (strongly recommended)")
+		debugAddr = flag.String("debug", "", "debug HTTP address for /metrics, /healthz, pprof (empty disables)")
 	)
 	flag.Parse()
 	if *id == 0 || *peers == "" {
@@ -90,21 +93,36 @@ func main() {
 	} else {
 		log.Printf("lambdacoord: WARNING: running without -data; acceptor state will not survive restarts")
 	}
+	reg := telemetry.NewRegistry()
 	srv := rpc.NewServer()
+	srv.SetTelemetry(reg)
 	coordinator.RegisterServer(srv, svc)
 	bound, err := srv.Serve(*addr)
 	if err != nil {
 		log.Fatalf("lambdacoord: listen: %v", err)
 	}
 	pool := rpc.NewPool(nil)
+	pool.SetTelemetry(reg)
 	svc.SetTransport(paxos.NewRPCTransport(svc.Node(), pool, peerAddrs))
 	svc.Start()
 	log.Printf("lambdacoord: replica %d serving on %s (%d peers)", *id, bound, len(peerIDs))
+
+	var dbg *debug.Server
+	if *debugAddr != "" {
+		dbg, err = debug.Start(*debugAddr, debug.Options{Registry: reg})
+		if err != nil {
+			log.Fatalf("lambdacoord: debug: %v", err)
+		}
+		log.Printf("lambdacoord: debug endpoints on http://%s", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("lambdacoord: shutting down")
+	if dbg != nil {
+		dbg.Close()
+	}
 	svc.Close()
 	srv.Close()
 	pool.Close()

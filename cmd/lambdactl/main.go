@@ -10,22 +10,31 @@
 //	lambdactl -config cluster.json register-retwis
 //	lambdactl -config cluster.json migrate -id 42 -dest 1
 //	lambdactl -config cluster.json stats
+//	lambdactl stats -debug 127.0.0.1:8080,127.0.0.1:8081
+//	lambdactl traces -debug 127.0.0.1:8080 -trace 1f3a... [-min 10ms]
 //	lambdactl asm -file user.s -o user.mod
 //	lambdactl disasm -file user.mod
 package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"lambdastore/internal/cluster"
 	"lambdastore/internal/core"
 	"lambdastore/internal/retwis"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/vm"
 )
 
@@ -39,7 +48,10 @@ Commands:
                   [-out raw|str|i64|hex]     invoke a method
   migrate         -id N -dest GROUP          move a microshard
   register-retwis                            deploy the Retwis User type
-  stats                                      print per-node stats
+  stats           [-debug HOST:PORT,...]     print per-node stats (RPC), or
+                                             fetch /metrics from debug servers
+  traces          -debug HOST:PORT,...       fetch and pretty-print /traces
+                  [-trace ID] [-min DUR]     (filter one trace / slow spans)
   asm             -file SRC [-o OUT]         assemble a guest module
   disasm          -file MOD                  disassemble a guest module`)
 	os.Exit(2)
@@ -68,6 +80,19 @@ func main() {
 	case "disasm":
 		runDisasm(rest)
 		return
+	case "traces":
+		runTraces(rest)
+		return
+	case "stats":
+		// With -debug, stats reads the HTTP endpoints and needs no cluster
+		// config; without it, it falls through to the RPC path below.
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		debugAddrs := fs.String("debug", "", "comma-separated debug HTTP addresses")
+		fs.Parse(rest)
+		if *debugAddrs != "" {
+			runStatsDebug(strings.Split(*debugAddrs, ","))
+			return
+		}
 	}
 
 	if configPath == "" {
@@ -196,6 +221,142 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runStatsDebug prints each node's /metrics text.
+func runStatsDebug(addrs []string) {
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet("http://" + addr + "/metrics")
+		if err != nil {
+			fmt.Printf("== %s: unreachable (%v)\n", addr, err)
+			continue
+		}
+		fmt.Printf("== %s\n", addr)
+		for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// tracesEnvelope mirrors the /traces JSON response.
+type tracesEnvelope struct {
+	Node  string           `json:"node"`
+	Total uint64           `json:"total_recorded"`
+	Spans []telemetry.Span `json:"spans"`
+}
+
+// runTraces fetches spans from one or more debug servers, merges them, and
+// prints them grouped by trace with parent/child indentation — the merged
+// view of a distributed request.
+func runTraces(args []string) {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "", "comma-separated debug HTTP addresses (required)")
+	traceID := fs.String("trace", "", "only this trace (hex or decimal ID)")
+	minDur := fs.Duration("min", 0, "only spans at least this long")
+	fs.Parse(args)
+	if *debugAddrs == "" {
+		log.Fatal("lambdactl: traces needs -debug")
+	}
+	q := url.Values{}
+	if *traceID != "" {
+		q.Set("trace", *traceID)
+	}
+	if *minDur > 0 {
+		q.Set("min", minDur.String())
+	}
+	var spans []telemetry.Span
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		u := "http://" + addr + "/traces"
+		if enc := q.Encode(); enc != "" {
+			u += "?" + enc
+		}
+		body, err := httpGet(u)
+		if err != nil {
+			fmt.Printf("== %s: unreachable (%v)\n", addr, err)
+			continue
+		}
+		var env tracesEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			log.Fatalf("lambdactl: %s: bad /traces response: %v", addr, err)
+		}
+		spans = append(spans, env.Spans...)
+	}
+	printSpanForest(spans)
+}
+
+// printSpanForest renders spans grouped by trace, children indented under
+// their parents (spans whose parent is missing from the set print at the
+// top level).
+func printSpanForest(spans []telemetry.Span) {
+	byTrace := make(map[uint64][]telemetry.Span)
+	var order []uint64
+	for _, s := range spans {
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return byTrace[order[i]][0].Start < byTrace[order[j]][0].Start
+	})
+	for _, tid := range order {
+		group := byTrace[tid]
+		sort.Slice(group, func(i, j int) bool { return group[i].Start < group[j].Start })
+		fmt.Printf("trace %016x (%d spans)\n", tid, len(group))
+		byID := make(map[uint64]bool, len(group))
+		children := make(map[uint64][]telemetry.Span)
+		for _, s := range group {
+			byID[s.ID] = true
+		}
+		var roots []telemetry.Span
+		for _, s := range group {
+			if s.Parent != 0 && byID[s.Parent] {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var walk func(s telemetry.Span, depth int)
+		walk = func(s telemetry.Span, depth int) {
+			errStr := ""
+			if s.Err != "" {
+				errStr = " err=" + s.Err
+			}
+			fmt.Printf("  %s%-10s %-22s %v%s\n", strings.Repeat("  ", depth), s.Name, s.Node, s.Dur, errStr)
+			for _, c := range children[s.ID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 0)
+		}
+	}
+}
+
+// httpGet fetches a debug endpoint with a short timeout.
+func httpGet(u string) ([]byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
 }
 
 func runAsm(args []string) {

@@ -32,6 +32,10 @@ func main() {
 		coords     = flag.String("coordinators", "", "comma-separated coordinator addresses")
 		cacheSize  = flag.Int("cache", 64<<10, "consistent result cache entries (0 disables)")
 		fuel       = flag.Int64("fuel", core.DefaultFuel, "per-invocation fuel budget")
+		debugAddr  = flag.String("debug", "", "debug HTTP address for /metrics, /traces, /healthz, pprof (empty disables)")
+		tracing    = flag.Bool("trace", false, "record per-stage spans for every traced invocation")
+		traceBuf   = flag.Int("trace-buffer", 0, "span ring-buffer size (0 = default)")
+		slow       = flag.Duration("slow", 0, "log invocations slower than this (0 disables)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -48,6 +52,10 @@ func main() {
 			Fuel:         *fuel,
 			CacheEntries: *cacheSize,
 		},
+		DebugAddr:          *debugAddr,
+		Tracing:            *tracing,
+		TraceBufferSize:    *traceBuf,
+		SlowTraceThreshold: *slow,
 	}
 	if *configPath != "" {
 		cfg, err := cluster.LoadConfigFile(*configPath)
@@ -68,6 +76,9 @@ func main() {
 		log.Fatalf("lambdastore: start: %v", err)
 	}
 	log.Printf("lambdastore: serving on %s (group %d, data %s)", node.Addr(), *groupID, *dataDir)
+	if da := node.DebugAddr(); da != "" {
+		log.Printf("lambdastore: debug endpoints on http://%s (tracing=%v)", da, *tracing)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -8,6 +8,7 @@ import (
 
 	"lambdastore/internal/core"
 	"lambdastore/internal/rpc"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/vm"
 	"lambdastore/internal/wire"
 )
@@ -73,6 +74,9 @@ type ComputeOptions struct {
 	ColdStartPenalty time.Duration
 	// ClientOptions tunes outbound connections (latency injection).
 	ClientOptions *rpc.ClientOptions
+	// Metrics, if set, receives the node's RPC counters (requests,
+	// in-flight, bytes on the wire).
+	Metrics *telemetry.Registry
 }
 
 // ComputeNode executes guest functions against remote storage. It runs the
@@ -115,6 +119,10 @@ func StartCompute(opts ComputeOptions) (*ComputeNode, error) {
 		idle:  make(map[*vm.Module][]*vm.Instance),
 	}
 	n.hosts = n.buildHostTable()
+	if opts.Metrics != nil {
+		n.srv.SetTelemetry(opts.Metrics)
+		n.pool.SetTelemetry(opts.Metrics)
+	}
 	n.srv.Handle(MethodRun, func(body []byte) ([]byte, error) {
 		req, err := decodeJobReq(body)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"lambdastore/internal/core"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/wire"
 )
 
@@ -27,6 +28,10 @@ type Client struct {
 
 	// maxRetries bounds routing retries after stale-config rejections.
 	maxRetries int
+
+	// tracing mints a fresh trace ID per invocation; the receiving nodes
+	// decide whether spans are actually recorded.
+	tracing bool
 }
 
 // ClientConfig configures a Client.
@@ -39,6 +44,9 @@ type ClientConfig struct {
 	RPC *rpc.ClientOptions
 	// MaxRetries bounds routing retries (default 4).
 	MaxRetries int
+	// Tracing stamps every invocation with a fresh trace ID so nodes with
+	// tracing enabled record its spans.
+	Tracing bool
 }
 
 // NewClient builds a client.
@@ -47,6 +55,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		pool:       rpc.NewPool(cfg.RPC),
 		dir:        cfg.Directory,
 		maxRetries: cfg.MaxRetries,
+		tracing:    cfg.Tracing,
 	}
 	if c.maxRetries <= 0 {
 		c.maxRetries = 4
@@ -104,19 +113,36 @@ func (c *Client) lookup(id core.ObjectID) (shard.Group, error) {
 	return c.dir.Lookup(uint64(id))
 }
 
+// rootCtx mints the invocation's trace context (zero when tracing is off).
+func (c *Client) rootCtx() telemetry.SpanContext {
+	if !c.tracing {
+		return telemetry.SpanContext{}
+	}
+	return telemetry.NewRootContext()
+}
+
 // Invoke runs a (potentially mutating) method at the object's primary.
 func (c *Client) Invoke(id core.ObjectID, method string, args [][]byte) ([]byte, error) {
-	return c.invoke(id, method, args, false)
+	return c.invoke(c.rootCtx(), id, method, args, false)
+}
+
+// InvokeTraced is Invoke under a freshly minted trace; it returns the trace
+// ID so the caller can fetch the request's spans from the nodes' /traces
+// endpoints (regardless of the client's Tracing setting).
+func (c *Client) InvokeTraced(id core.ObjectID, method string, args [][]byte) ([]byte, uint64, error) {
+	ctx := telemetry.NewRootContext()
+	resp, err := c.invoke(ctx, id, method, args, false)
+	return resp, ctx.Trace, err
 }
 
 // InvokeRead runs a read-only method at one of the object's replicas,
 // spreading load round-robin. The server rejects the request if the method
 // is not actually read-only for routing purposes (backups refuse writes).
 func (c *Client) InvokeRead(id core.ObjectID, method string, args [][]byte) ([]byte, error) {
-	return c.invoke(id, method, args, true)
+	return c.invoke(c.rootCtx(), id, method, args, true)
 }
 
-func (c *Client) invoke(id core.ObjectID, method string, args [][]byte, readOnly bool) ([]byte, error) {
+func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method string, args [][]byte, readOnly bool) ([]byte, error) {
 	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args, readOnly: readOnly})
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
@@ -129,7 +155,7 @@ func (c *Client) invoke(id core.ObjectID, method string, args [][]byte, readOnly
 			replicas := g.Replicas()
 			addr = replicas[c.rr.Add(1)%uint64(len(replicas))]
 		}
-		resp, err := c.pool.Call(addr, MethodInvoke, body)
+		resp, err := c.pool.CallCtx(addr, ctx, MethodInvoke, body)
 		if err == nil {
 			return resp, nil
 		}
@@ -137,7 +163,7 @@ func (c *Client) invoke(id core.ObjectID, method string, args [][]byte, readOnly
 		if hint, ok := ParseNotResponsible(err); ok {
 			// Stale configuration: try the hinted primary directly next.
 			if !c.refresh() && hint != "" {
-				resp, err := c.pool.Call(hint, MethodInvoke, body)
+				resp, err := c.pool.CallCtx(hint, ctx, MethodInvoke, body)
 				if err == nil {
 					return resp, nil
 				}
@@ -162,6 +188,7 @@ func (c *Client) InvokeTransaction(calls []core.TxCall) ([][]byte, error) {
 	if len(calls) == 0 {
 		return nil, nil
 	}
+	ctx := c.rootCtx()
 	body := encodeTxReq(&txReq{calls: calls})
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
@@ -178,7 +205,7 @@ func (c *Client) InvokeTransaction(calls []core.TxCall) ([][]byte, error) {
 				return nil, fmt.Errorf("cluster: transaction spans groups %d and %d (objects must share a replica group)", g.ID, cg.ID)
 			}
 		}
-		resp, err := c.pool.Call(g.Primary, MethodInvokeTx, body)
+		resp, err := c.pool.CallCtx(g.Primary, ctx, MethodInvokeTx, body)
 		if err == nil {
 			return decodeTxResp(resp)
 		}

@@ -8,10 +8,12 @@ import (
 
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
+	"lambdastore/internal/debug"
 	"lambdastore/internal/replication"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
 	"lambdastore/internal/store"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/wire"
 )
 
@@ -39,6 +41,17 @@ type NodeOptions struct {
 	// ClientOptions tunes this node's outbound connections (delay
 	// injection for experiments, timeouts).
 	ClientOptions *rpc.ClientOptions
+	// DebugAddr, if non-empty, starts the debug HTTP server (/metrics,
+	// /traces, /healthz, pprof) on that address ("127.0.0.1:0" for an
+	// ephemeral port).
+	DebugAddr string
+	// Tracing enables span recording. Off, the tracer costs one predicted
+	// branch per stage; metrics are always collected (atomic increments).
+	Tracing bool
+	// TraceBufferSize bounds the span ring (0 = telemetry.DefaultTraceBuffer).
+	TraceBufferSize int
+	// SlowTraceThreshold logs any root span slower than this (0 = no log).
+	SlowTraceThreshold time.Duration
 }
 
 // Node is one LambdaStore storage node: it persists objects, executes
@@ -61,35 +74,71 @@ type Node struct {
 	done   chan struct{}
 
 	forwarded atomic.Uint64 // cross-object invocations routed off-node
+
+	metrics    *telemetry.Registry
+	tracer     *telemetry.Tracer
+	debugSrv   *debug.Server
+	forwards   *telemetry.Counter
+	migrations *telemetry.Counter
 }
 
 // StartNode opens the store and starts serving.
 func StartNode(opts NodeOptions) (*Node, error) {
-	db, err := store.Open(opts.DataDir, opts.Store)
+	// Every node gets a registry and a tracer; tracing is enabled only on
+	// request, and the registry's instruments are atomic counters whose
+	// cost is negligible.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(opts.Addr, opts.TraceBufferSize)
+	tracer.SetEnabled(opts.Tracing)
+	tracer.SetSlowThreshold(opts.SlowTraceThreshold)
+
+	stOpts := &store.Options{}
+	if opts.Store != nil {
+		cp := *opts.Store
+		stOpts = &cp
+	}
+	stOpts.Metrics = reg
+
+	db, err := store.Open(opts.DataDir, stOpts)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		opts: opts,
-		db:   db,
-		srv:  rpc.NewServer(),
-		pool: rpc.NewPool(opts.ClientOptions),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		opts:    opts,
+		db:      db,
+		srv:     rpc.NewServer(),
+		pool:    rpc.NewPool(opts.ClientOptions),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		metrics: reg,
+		tracer:  tracer,
 	}
+	n.forwards = reg.Counter("cluster.forwards")
+	n.migrations = reg.Counter("cluster.migrations")
+	n.srv.SetTelemetry(reg)
+	n.pool.SetTelemetry(reg)
 	if opts.Directory == nil {
 		opts.Directory = shard.NewDirectory(nil)
 	}
 	n.dir.Store(opts.Directory)
 
 	n.shipper = replication.NewShipper(n.pool, n.onBackupFailure)
+	n.shipper.SetTelemetry(reg)
 
 	rtOpts := opts.Runtime
 	rtOpts.Invoker = &routerInvoker{node: n}
-	rtOpts.OnCommit = func(obj core.ObjectID, seq uint64, ws *store.Batch) {
+	rtOpts.Metrics = reg
+	rtOpts.Tracer = tracer
+	rtOpts.OnCommit = func(ctx telemetry.SpanContext, obj core.ObjectID, seq uint64, ws *store.Batch) {
 		// Synchronous primary-backup shipping: the invocation reply is not
 		// released until backups acknowledged (or were reported failed).
-		n.shipper.Ship(uint64(obj), ws) //nolint:errcheck // failures reported via onBackupFailure
+		sp := n.tracer.StartSpan(ctx, "replicate")
+		shipCtx := sp.Context()
+		if !shipCtx.Valid() {
+			shipCtx = ctx
+		}
+		err := n.shipper.ShipCtx(shipCtx, uint64(obj), ws) //nolint:errcheck // failures reported via onBackupFailure
+		sp.FinishErr(err)
 	}
 	n.rt, err = core.NewRuntime(db, rtOpts)
 	if err != nil {
@@ -104,7 +153,22 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		return nil, err
 	}
 	n.addr = addr
+	tracer.SetNode(addr)
 	n.refreshBackups()
+
+	if opts.DebugAddr != "" {
+		n.debugSrv, err = debug.Start(opts.DebugAddr, debug.Options{
+			Registry: reg,
+			Tracer:   tracer,
+			Gauges:   n.debugGauges,
+			Health:   n.health,
+		})
+		if err != nil {
+			n.srv.Close()
+			db.Close()
+			return nil, err
+		}
+	}
 
 	if len(opts.Coordinators) > 0 {
 		n.coord = coordinator.NewClient(n.pool, opts.Coordinators)
@@ -135,6 +199,53 @@ func (n *Node) SetDirectory(d *shard.Directory) {
 
 // Forwarded returns how many cross-object invocations left this node.
 func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
+
+// Metrics returns the node's telemetry registry.
+func (n *Node) Metrics() *telemetry.Registry { return n.metrics }
+
+// Tracer returns the node's span recorder.
+func (n *Node) Tracer() *telemetry.Tracer { return n.tracer }
+
+// DebugAddr returns the debug HTTP server's bound address, or "" when the
+// server is not running.
+func (n *Node) DebugAddr() string {
+	if n.debugSrv == nil {
+		return ""
+	}
+	return n.debugSrv.Addr()
+}
+
+// debugGauges contributes point-in-time values the registry does not track
+// as counters: cache hit rates read from their owners on demand.
+func (n *Node) debugGauges() map[string]uint64 {
+	out := make(map[string]uint64, 8)
+	bh, bm := n.db.BlockCacheStats()
+	out["store.block_cache_hits"] = bh
+	out["store.block_cache_misses"] = bm
+	if c := n.rt.Cache(); c != nil {
+		st := c.Stats()
+		out["cache.hits"] = st.Hits
+		out["cache.misses"] = st.Misses
+		out["cache.validations"] = st.Validations
+		out["cache.evictions"] = st.Evictions
+	}
+	warm, cold := n.rt.PoolStats()
+	out["core.pool_warm"] = warm
+	out["core.pool_cold"] = cold
+	out["cluster.forwarded"] = n.forwarded.Load()
+	out["repl.shipped_total"] = n.shipper.Shipped()
+	return out
+}
+
+// health backs /healthz: serving stops reporting healthy once Close began.
+func (n *Node) health() error {
+	select {
+	case <-n.stop:
+		return fmt.Errorf("cluster: node %s shutting down", n.addr)
+	default:
+		return nil
+	}
+}
 
 // myGroup returns this node's group from the directory view.
 func (n *Node) myGroup() (shard.Group, bool) {
@@ -206,6 +317,9 @@ func (n *Node) Close() error {
 	}
 	n.stopMu.Unlock()
 	<-n.done
+	if n.debugSrv != nil {
+		n.debugSrv.Close()
+	}
 	n.srv.Close()
 	n.pool.Close()
 	return n.db.Close()
@@ -236,16 +350,16 @@ func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
 
 // registerHandlers wires the RPC surface.
 func (n *Node) registerHandlers() {
-	replication.RegisterBackup(n.srv, n.db, replication.ApplierFunc(
+	replication.RegisterBackupTelemetry(n.srv, n.db, replication.ApplierFunc(
 		func(object uint64, b *store.Batch) error {
 			return n.rt.ApplyReplicated(core.ObjectID(object), b)
-		}))
+		}), n.tracer, n.metrics)
 
 	n.srv.Handle(MethodPing, func(body []byte) ([]byte, error) {
 		return []byte(n.addr), nil
 	})
 
-	n.srv.Handle(MethodInvoke, func(body []byte) ([]byte, error) {
+	n.srv.HandleCtx(MethodInvoke, func(info rpc.CallInfo, body []byte) ([]byte, error) {
 		req, err := decodeInvokeReq(body)
 		if err != nil {
 			return nil, err
@@ -253,10 +367,10 @@ func (n *Node) registerHandlers() {
 		if err := n.routeCheck(req.object, req.readOnly); err != nil {
 			return nil, err
 		}
-		return n.rt.Invoke(req.object, req.method, req.args)
+		return n.rt.InvokeCtx(req.object, req.method, req.args, core.CallCtx{Trace: info.Trace})
 	})
 
-	n.srv.Handle(MethodInvokeTx, func(body []byte) ([]byte, error) {
+	n.srv.HandleCtx(MethodInvokeTx, func(info rpc.CallInfo, body []byte) ([]byte, error) {
 		req, err := decodeTxReq(body)
 		if err != nil {
 			return nil, err
@@ -267,7 +381,7 @@ func (n *Node) registerHandlers() {
 				return nil, err
 			}
 		}
-		results, err := n.rt.InvokeTransaction(req.calls)
+		results, err := n.rt.InvokeTransactionCtx(req.calls, core.CallCtx{Trace: info.Trace})
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +432,11 @@ func (n *Node) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
-		return nil, n.migrateObject(req)
+		if err := n.migrateObject(req); err != nil {
+			return nil, err
+		}
+		n.migrations.Inc()
+		return nil, nil
 	})
 
 	n.srv.Handle(MethodIngest, func(body []byte) ([]byte, error) {
@@ -430,19 +548,34 @@ func (n *Node) migrateObject(req *migrateReq) error {
 type routerInvoker struct{ node *Node }
 
 func (r *routerInvoker) Invoke(id core.ObjectID, method string, args [][]byte) ([]byte, error) {
-	return r.InvokeDepth(id, method, args, 0)
+	return r.InvokeCtx(id, method, args, core.CallCtx{})
 }
 
 // InvokeDepth preserves nested-call depth on local hops; remote hops reset
 // it (bounded by RPC timeouts instead).
 func (r *routerInvoker) InvokeDepth(id core.ObjectID, method string, args [][]byte, depth int) ([]byte, error) {
+	return r.InvokeCtx(id, method, args, core.CallCtx{Depth: depth})
+}
+
+// InvokeCtx routes with full call context: local hops keep depth and trace;
+// remote hops record an "rpc" span whose context crosses the wire, so the
+// callee's invoke span nests under it.
+func (r *routerInvoker) InvokeCtx(id core.ObjectID, method string, args [][]byte, cc core.CallCtx) ([]byte, error) {
 	n := r.node
 	d := n.dir.Load()
 	g, err := d.Lookup(uint64(id))
 	if err != nil || g.Primary == n.addr || g.Primary == "" {
-		return n.rt.InvokeDepth(id, method, args, depth)
+		return n.rt.InvokeCtx(id, method, args, cc)
 	}
 	n.forwarded.Add(1)
+	n.forwards.Inc()
+	sp := n.tracer.StartSpan(cc.Trace, "rpc")
+	wireCtx := sp.Context()
+	if !wireCtx.Valid() {
+		wireCtx = cc.Trace
+	}
 	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args})
-	return n.pool.Call(g.Primary, MethodInvoke, body)
+	resp, err := n.pool.CallCtx(g.Primary, wireCtx, MethodInvoke, body)
+	sp.FinishErr(err)
+	return resp, err
 }

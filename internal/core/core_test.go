@@ -10,6 +10,7 @@ import (
 
 	"lambdastore/internal/sched"
 	"lambdastore/internal/store"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/vm"
 )
 
@@ -466,7 +467,7 @@ func TestOnCommitHookObservesWriteSets(t *testing.T) {
 	var mu sync.Mutex
 	var events []string
 	rt, _ := newTestRuntime(t, Options{
-		OnCommit: func(obj ObjectID, seq uint64, ws *store.Batch) {
+		OnCommit: func(_ telemetry.SpanContext, obj ObjectID, seq uint64, ws *store.Batch) {
 			mu.Lock()
 			defer mu.Unlock()
 			events = append(events, fmt.Sprintf("%s@%d ops=%d", obj, seq, ws.Len()))

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lambdastore/internal/sched"
+	"lambdastore/internal/telemetry"
 )
 
 // maxInvocationDepth bounds synchronous nested-invocation chains that stay
@@ -30,6 +32,9 @@ type invocation struct {
 	args   [][]byte
 	txn    *txn
 	depth  int
+	// trace is the invocation's own span context (zero when untraced);
+	// stage spans and nested calls parent under it.
+	trace telemetry.SpanContext
 
 	mode    sched.Mode
 	locked  bool
@@ -65,7 +70,17 @@ func (iv *invocation) ensureLocked() error {
 	if iv.locked || iv.external || iv.rt.opts.DisableScheduler {
 		return nil
 	}
+	sp := iv.rt.tracer.StartSpan(iv.trace, "lock-wait")
+	m := iv.rt.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	release, err := iv.rt.locks.Acquire(uint64(iv.obj), iv.mode)
+	if m != nil {
+		m.lockWaitUs.Record(time.Since(start))
+	}
+	sp.FinishErr(err)
 	if err != nil {
 		return err
 	}
@@ -132,7 +147,21 @@ func (iv *invocation) run() ([]byte, error) {
 		return nil, err
 	}
 	inst.Ctx = iv
+	sp := iv.rt.tracer.StartSpan(iv.trace, "vm-exec")
+	m := iv.rt.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	fuelBefore := inst.FuelUsed()
 	_, callErr := inst.Call(iv.method.Name)
+	if m != nil {
+		m.vmExecUs.Record(time.Since(start))
+		if d := inst.FuelUsed() - fuelBefore; d > 0 {
+			m.fuelUsed.Add(uint64(d))
+		}
+	}
+	sp.FinishErr(callErr)
 	iv.rt.pool.put(iv.typ.Module, inst)
 
 	// Join any stragglers so goroutines never outlive the invocation.
@@ -181,6 +210,15 @@ func (iv *invocation) ownWrites() bool {
 // version counter in the same batch (real-time visibility: the batch is
 // durable and replicated before the reply).
 func (iv *invocation) commit() error {
+	sp := iv.rt.tracer.StartSpan(iv.trace, "commit")
+	err := iv.commitUnder(sp.Context())
+	sp.FinishErr(err)
+	return err
+}
+
+// commitUnder is commit's body; ctx is the enclosing commit span (zero when
+// untraced) under which the wal-sync span nests.
+func (iv *invocation) commitUnder(ctx telemetry.SpanContext) error {
 	if err := iv.ensureLocked(); err != nil {
 		return err
 	}
@@ -198,10 +236,13 @@ func (iv *invocation) commit() error {
 	}
 	iv.txn.put(versionKey(iv.obj), encodeU64(decodeU64(cur)+1))
 	b := iv.txn.batch()
-	if err := iv.rt.db.Write(b); err != nil {
+	wsp := iv.rt.tracer.StartSpan(ctx, "wal-sync")
+	err = iv.rt.db.Write(b)
+	wsp.FinishErr(err)
+	if err != nil {
 		return err
 	}
-	iv.rt.notifyCommit(iv.obj, b)
+	iv.rt.notifyCommit(iv.trace, iv.obj, b)
 	return nil
 }
 
@@ -237,7 +278,7 @@ func (iv *invocation) crossInvoke(target ObjectID, method string, args [][]byte)
 	if err := iv.commitIntermediate(); err != nil {
 		return nil, err
 	}
-	return iv.rt.dispatch(target, method, args, iv.depth+1)
+	return iv.rt.dispatch(target, method, args, CallCtx{Depth: iv.depth + 1, Trace: iv.trace})
 }
 
 // startAsync launches a parallel cross-object invocation and returns its
@@ -256,10 +297,10 @@ func (iv *invocation) startAsync(target ObjectID, method string, args [][]byte) 
 	ac := &asyncCall{done: make(chan struct{})}
 	iv.asyncs = append(iv.asyncs, ac)
 	handle := int64(len(iv.asyncs) - 1)
-	depth := iv.depth + 1
+	cc := CallCtx{Depth: iv.depth + 1, Trace: iv.trace}
 	go func() {
 		defer close(ac.done)
-		ac.result, ac.err = iv.rt.dispatch(target, method, args, depth)
+		ac.result, ac.err = iv.rt.dispatch(target, method, args, cc)
 	}()
 	return handle, nil
 }

@@ -10,6 +10,7 @@ import (
 	"lambdastore/internal/cache"
 	"lambdastore/internal/sched"
 	"lambdastore/internal/store"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/vm"
 )
 
@@ -20,11 +21,13 @@ type Invoker interface {
 	Invoke(id ObjectID, method string, args [][]byte) ([]byte, error)
 }
 
-// CommitHook observes every committed mutating invocation: the object, the
+// CommitHook observes every committed mutating invocation: the trace
+// context of the committing request (zero when untraced), the object, the
 // store sequence assigned to the first record of the write-set, and the
 // write-set itself. Primary-backup replication ships these to backups in
-// sequence order.
-type CommitHook func(obj ObjectID, seq uint64, writeSet *store.Batch)
+// sequence order, propagating the trace so backup apply spans join the
+// caller's trace.
+type CommitHook func(ctx telemetry.SpanContext, obj ObjectID, seq uint64, writeSet *store.Batch)
 
 // Options configures a Runtime.
 type Options struct {
@@ -47,6 +50,13 @@ type Options struct {
 	// uses this to show why the combined scheduler/concurrency-control
 	// matters; with it disabled, invocation isolation is lost).
 	DisableScheduler bool
+	// Metrics, if set, receives hot-path counters and histograms
+	// (invocations by method, fuel, cache and lock-wait behaviour).
+	Metrics *telemetry.Registry
+	// Tracer, if set, records per-stage spans (invoke, lock-wait, vm-exec,
+	// commit, wal-sync) for traced invocations. A nil or disabled tracer
+	// costs one predicted branch per stage.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultFuel is the per-invocation budget used by servers: generous for
@@ -74,6 +84,50 @@ type Runtime struct {
 	// perObject counts invocations per object — the load signal behind
 	// hot-microshard rebalancing (the paper's elasticity future work).
 	perObject map[ObjectID]uint64
+
+	// metrics holds pre-resolved instruments (nil when Options.Metrics is
+	// unset) so hot paths never touch the registry mutex.
+	metrics *rtMetrics
+	tracer  *telemetry.Tracer
+}
+
+// rtMetrics caches the runtime's instruments; resolved once at startup.
+type rtMetrics struct {
+	reg         *telemetry.Registry
+	invokeUs    *telemetry.Histogram
+	lockWaitUs  *telemetry.Histogram
+	vmExecUs    *telemetry.Histogram
+	fuelUsed    *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	commits     *telemetry.Counter
+	// methods maps method name -> per-method invocation counter
+	// ("core.invoke.<method>"), cached so the hot path skips the registry.
+	methods sync.Map
+}
+
+func newRTMetrics(reg *telemetry.Registry) *rtMetrics {
+	return &rtMetrics{
+		reg:         reg,
+		invokeUs:    reg.Histogram("core.invoke"),
+		lockWaitUs:  reg.Histogram("sched.lock_wait"),
+		vmExecUs:    reg.Histogram("core.vm_exec"),
+		fuelUsed:    reg.Counter("core.fuel_used"),
+		cacheHits:   reg.Counter("core.cache_hits"),
+		cacheMisses: reg.Counter("core.cache_misses"),
+		commits:     reg.Counter("core.commits"),
+	}
+}
+
+// methodCounter returns the invocation counter for method, resolving it at
+// most once per method name.
+func (m *rtMetrics) methodCounter(method string) *telemetry.Counter {
+	if c, ok := m.methods.Load(method); ok {
+		return c.(*telemetry.Counter)
+	}
+	c := m.reg.Counter("core.invoke." + method)
+	m.methods.Store(method, c)
+	return c
 }
 
 // NewRuntime builds a runtime on db, loading persisted types.
@@ -102,6 +156,10 @@ func NewRuntime(db *store.DB, opts Options) (*Runtime, error) {
 	if rt.opts.Invoker == nil {
 		rt.opts.Invoker = rt
 	}
+	if opts.Metrics != nil {
+		rt.metrics = newRTMetrics(opts.Metrics)
+	}
+	rt.tracer = opts.Tracer
 	if err := rt.loadTypes(); err != nil {
 		return nil, err
 	}
@@ -208,7 +266,7 @@ func (rt *Runtime) CreateObject(typeName string, id ObjectID) error {
 	if err := rt.db.Write(b); err != nil {
 		return err
 	}
-	rt.notifyCommit(id, b)
+	rt.notifyCommit(telemetry.SpanContext{}, id, b)
 	return nil
 }
 
@@ -235,7 +293,7 @@ func (rt *Runtime) DeleteObject(id ObjectID) error {
 	if rt.cache != nil {
 		rt.cache.InvalidateObject(uint64(id))
 	}
-	rt.notifyCommit(id, b)
+	rt.notifyCommit(telemetry.SpanContext{}, id, b)
 	return nil
 }
 
@@ -326,14 +384,55 @@ type DepthInvoker interface {
 	InvokeDepth(id ObjectID, method string, args [][]byte, depth int) ([]byte, error)
 }
 
+// CallCtx carries per-call metadata across invocation hops: the nested-call
+// depth and the caller's trace context (zero when untraced).
+type CallCtx struct {
+	Depth int
+	Trace telemetry.SpanContext
+}
+
+// CtxInvoker is implemented by invokers that propagate the full CallCtx —
+// depth and trace — across hops. The cluster router implements it so traces
+// span forwarded and cross-object calls.
+type CtxInvoker interface {
+	InvokeCtx(id ObjectID, method string, args [][]byte, cc CallCtx) ([]byte, error)
+}
+
 // Invoke runs a method on an object with invocation linearizability. It is
 // the entry point for client jobs and for cross-object calls routed here.
 func (rt *Runtime) Invoke(id ObjectID, method string, args [][]byte) ([]byte, error) {
-	return rt.InvokeDepth(id, method, args, 0)
+	return rt.InvokeCtx(id, method, args, CallCtx{})
 }
 
 // InvokeDepth is Invoke with an explicit nested-call depth.
 func (rt *Runtime) InvokeDepth(id ObjectID, method string, args [][]byte, depth int) ([]byte, error) {
+	return rt.InvokeCtx(id, method, args, CallCtx{Depth: depth})
+}
+
+// InvokeCtx is Invoke with an explicit call context. It records the
+// per-node "invoke" span (parented to the caller's span when the request is
+// traced) and the per-method invocation metrics, then nests every stage
+// span under it.
+func (rt *Runtime) InvokeCtx(id ObjectID, method string, args [][]byte, cc CallCtx) ([]byte, error) {
+	span := rt.tracer.StartSpan(cc.Trace, "invoke")
+	if span.Recording() {
+		cc.Trace = span.Context()
+	}
+	m := rt.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	result, err := rt.invokeCtx(id, method, args, cc)
+	if m != nil {
+		m.invokeUs.Record(time.Since(start))
+		m.methodCounter(method).Inc()
+	}
+	span.FinishErr(err)
+	return result, err
+}
+
+func (rt *Runtime) invokeCtx(id ObjectID, method string, args [][]byte, cc CallCtx) ([]byte, error) {
 	typ, err := rt.typeOf(id)
 	if err != nil {
 		return nil, err
@@ -353,7 +452,8 @@ func (rt *Runtime) InvokeDepth(id ObjectID, method string, args [][]byte, depth 
 		typ:    typ,
 		method: mi,
 		args:   args,
-		depth:  depth,
+		depth:  cc.Depth,
+		trace:  cc.Trace,
 		mode:   mode,
 	}
 	// Admit before the cache lookup so validation reads cannot interleave
@@ -370,7 +470,13 @@ func (rt *Runtime) InvokeDepth(id ObjectID, method string, args [][]byte, depth 
 		argsHash = cache.HashArgs(method, args)
 		if result, ok := rt.cache.Lookup(uint64(id), method, argsHash, rt.committedHash); ok {
 			iv.unlock()
+			if rt.metrics != nil {
+				rt.metrics.cacheHits.Inc()
+			}
 			return result, nil
+		}
+		if rt.metrics != nil {
+			rt.metrics.cacheMisses.Inc()
 		}
 	}
 
@@ -389,10 +495,13 @@ func (rt *Runtime) InvokeDepth(id ObjectID, method string, args [][]byte, depth 
 }
 
 // dispatch routes a nested invocation through the configured Invoker,
-// preserving depth where the invoker supports it.
-func (rt *Runtime) dispatch(id ObjectID, method string, args [][]byte, depth int) ([]byte, error) {
+// preserving call context (depth and trace) where the invoker supports it.
+func (rt *Runtime) dispatch(id ObjectID, method string, args [][]byte, cc CallCtx) ([]byte, error) {
+	if ci, ok := rt.opts.Invoker.(CtxInvoker); ok {
+		return ci.InvokeCtx(id, method, args, cc)
+	}
 	if di, ok := rt.opts.Invoker.(DepthInvoker); ok {
-		return di.InvokeDepth(id, method, args, depth)
+		return di.InvokeDepth(id, method, args, cc.Depth)
 	}
 	return rt.opts.Invoker.Invoke(id, method, args)
 }
@@ -407,16 +516,20 @@ func (rt *Runtime) committedHash(key []byte) uint64 {
 	return cache.HashValue(v, true)
 }
 
-// notifyCommit invalidates caches and fires the replication hook.
-func (rt *Runtime) notifyCommit(id ObjectID, b *store.Batch) {
+// notifyCommit invalidates caches and fires the replication hook, passing
+// along the committing request's trace context.
+func (rt *Runtime) notifyCommit(ctx telemetry.SpanContext, id ObjectID, b *store.Batch) {
 	rt.statsMu.Lock()
 	rt.commits++
 	rt.statsMu.Unlock()
+	if rt.metrics != nil {
+		rt.metrics.commits.Inc()
+	}
 	if rt.cache != nil {
 		rt.cache.InvalidateObject(uint64(id))
 	}
 	if rt.opts.OnCommit != nil {
-		rt.opts.OnCommit(id, b.Seq(), b)
+		rt.opts.OnCommit(ctx, id, b.Seq(), b)
 	}
 }
 

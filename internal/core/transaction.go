@@ -36,6 +36,23 @@ var ErrTxRestricted = fmt.Errorf("core: operation not allowed inside a transacti
 // transaction is serializable with respect to all other invocations and
 // transactions.
 func (rt *Runtime) InvokeTransaction(calls []TxCall) ([][]byte, error) {
+	return rt.InvokeTransactionCtx(calls, CallCtx{})
+}
+
+// InvokeTransactionCtx is InvokeTransaction with an explicit call context:
+// the transaction records a "tx" span (parented to the caller when traced)
+// and its member invocations nest their stage spans beneath it.
+func (rt *Runtime) InvokeTransactionCtx(calls []TxCall, cc CallCtx) ([][]byte, error) {
+	span := rt.tracer.StartSpan(cc.Trace, "tx")
+	if span.Recording() {
+		cc.Trace = span.Context()
+	}
+	results, err := rt.invokeTransactionCtx(calls, cc)
+	span.FinishErr(err)
+	return results, err
+}
+
+func (rt *Runtime) invokeTransactionCtx(calls []TxCall, cc CallCtx) ([][]byte, error) {
 	if len(calls) == 0 {
 		return nil, nil
 	}
@@ -100,6 +117,7 @@ func (rt *Runtime) InvokeTransaction(calls []TxCall) ([][]byte, error) {
 			method:   rcalls[i].mi,
 			args:     c.Args,
 			txn:      shared,
+			trace:    cc.Trace,
 			mode:     sched.Write,
 			locked:   true, // the transaction holds the admissions
 			external: true, // commit and unlock are managed here
@@ -139,7 +157,10 @@ func (rt *Runtime) InvokeTransaction(calls []TxCall) ([][]byte, error) {
 			shared.put(versionKey(id), encodeU64(decodeU64(cur)+1))
 		}
 		b := shared.batch()
-		if err := rt.db.Write(b); err != nil {
+		wsp := rt.tracer.StartSpan(cc.Trace, "wal-sync")
+		err := rt.db.Write(b)
+		wsp.FinishErr(err)
+		if err != nil {
 			return nil, err
 		}
 		// One commit notification per touched object: caches invalidate
@@ -150,11 +171,14 @@ func (rt *Runtime) InvokeTransaction(calls []TxCall) ([][]byte, error) {
 			rt.statsMu.Lock()
 			rt.commits++
 			rt.statsMu.Unlock()
+			if rt.metrics != nil {
+				rt.metrics.commits.Inc()
+			}
 			if rt.cache != nil {
 				rt.cache.InvalidateObject(uint64(id))
 			}
 			if first && rt.opts.OnCommit != nil {
-				rt.opts.OnCommit(id, b.Seq(), b)
+				rt.opts.OnCommit(cc.Trace, id, b.Seq(), b)
 			}
 			first = false
 		}

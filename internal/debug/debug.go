@@ -1,0 +1,174 @@
+// Package debug serves a node's observability surface over HTTP: /metrics
+// (plain-text counters, gauges and histogram summaries), /traces (recorded
+// spans as JSON, filterable by trace ID and minimum duration), /healthz,
+// and the standard net/http/pprof profiling endpoints.
+//
+// The server is strictly opt-in (NodeOptions.DebugAddr / the -debug flag)
+// and read-only: it exposes state, never mutates it. It binds its own mux,
+// so nothing leaks onto http.DefaultServeMux.
+package debug
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"lambdastore/internal/telemetry"
+)
+
+// Options selects what the debug server exposes. All fields are optional.
+type Options struct {
+	// Registry supplies /metrics counters, gauges and histograms.
+	Registry *telemetry.Registry
+	// Tracer supplies /traces spans.
+	Tracer *telemetry.Tracer
+	// Gauges, if set, contributes extra point-in-time values to /metrics
+	// (e.g. block-cache hit counts read from the store on demand).
+	Gauges func() map[string]uint64
+	// Health, if set, backs /healthz; a non-nil error reports 503.
+	Health func() error
+}
+
+// Server is a running debug HTTP endpoint.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Start listens on addr ("host:port", empty port for ephemeral) and serves
+// the debug endpoints until Close.
+func Start(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { serveMetrics(w, o) })
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) { serveTraces(w, r, o.Tracer) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if o.Health != nil {
+			if err := o.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, http: &http.Server{Handler: mux}}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }
+
+// serveMetrics renders every instrument as "name value" lines; histograms
+// expand into _count/_mean_us/_p50_us/_p99_us/_max_us summaries.
+func serveMetrics(w http.ResponseWriter, o Options) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	if reg := o.Registry; reg != nil {
+		for _, name := range reg.CounterNames() {
+			fmt.Fprintf(&b, "%s %d\n", name, reg.Counter(name).Value())
+		}
+		for _, name := range reg.GaugeNames() {
+			fmt.Fprintf(&b, "%s %d\n", name, reg.Gauge(name).Value())
+		}
+		for _, name := range reg.HistogramNames() {
+			s := reg.Histogram(name).Snapshot()
+			fmt.Fprintf(&b, "%s_count %d\n", name, s.Count)
+			fmt.Fprintf(&b, "%s_mean_us %d\n", name, s.Mean.Microseconds())
+			fmt.Fprintf(&b, "%s_p50_us %d\n", name, s.Median.Microseconds())
+			fmt.Fprintf(&b, "%s_p99_us %d\n", name, s.P99.Microseconds())
+			fmt.Fprintf(&b, "%s_max_us %d\n", name, s.Max.Microseconds())
+		}
+	}
+	if o.Gauges != nil {
+		extra := o.Gauges()
+		names := make([]string, 0, len(extra))
+		for n := range extra {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s %d\n", n, extra[n])
+		}
+	}
+	w.Write([]byte(b.String()))
+}
+
+// tracesResponse is the /traces JSON envelope.
+type tracesResponse struct {
+	Node  string           `json:"node,omitempty"`
+	Total uint64           `json:"total_recorded"`
+	Spans []telemetry.Span `json:"spans"`
+}
+
+// ParseTraceID parses a trace ID as given on the command line or in a
+// query string: hexadecimal (the form trace IDs are logged in, with or
+// without a 0x prefix), falling back to decimal.
+func ParseTraceID(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	if id, err := strconv.ParseUint(s, 16, 64); err == nil {
+		return id, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// serveTraces renders retained spans as JSON. Query parameters: trace
+// (hex or decimal trace ID) keeps one trace; min (a time.Duration such as
+// 10ms) drops spans shorter than it.
+func serveTraces(w http.ResponseWriter, r *http.Request, tracer *telemetry.Tracer) {
+	w.Header().Set("Content-Type", "application/json")
+	resp := tracesResponse{Spans: []telemetry.Span{}}
+	if tracer == nil {
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	resp.Total = tracer.Total()
+	var spans []telemetry.Span
+	if tq := r.URL.Query().Get("trace"); tq != "" {
+		id, err := ParseTraceID(tq)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans = tracer.TraceSpans(id)
+	} else {
+		spans = tracer.Spans()
+	}
+	if mq := r.URL.Query().Get("min"); mq != "" {
+		min, err := time.ParseDuration(mq)
+		if err != nil {
+			http.Error(w, "bad min duration: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		kept := spans[:0]
+		for _, s := range spans {
+			if s.Dur >= min {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+	if len(spans) > 0 {
+		resp.Node = spans[len(spans)-1].Node
+		resp.Spans = spans
+	}
+	json.NewEncoder(w).Encode(resp)
+}

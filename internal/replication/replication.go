@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/store"
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/wire"
 )
 
@@ -70,11 +72,30 @@ type Shipper struct {
 	// misses a write-set; the cluster layer reports it to the coordinator.
 	onFailure func(addr string, err error)
 	shipped   uint64
+
+	// telemetry (all nil-safe): shippedCtr counts acknowledged write-sets,
+	// failures counts backup rejections, shipUs tracks fan-out latency.
+	shippedCtr *telemetry.Counter
+	failures   *telemetry.Counter
+	shipUs     *telemetry.Histogram
 }
 
 // NewShipper returns a shipper over the given connection pool.
 func NewShipper(pool *rpc.Pool, onFailure func(addr string, err error)) *Shipper {
 	return &Shipper{pool: pool, onFailure: onFailure}
+}
+
+// SetTelemetry wires the shipper's counters into reg: shipped write-sets,
+// backup failures, and ship latency. Call before traffic starts.
+func (s *Shipper) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.shippedCtr = reg.Counter("repl.shipped")
+	s.failures = reg.Counter("repl.backup_failures")
+	s.shipUs = reg.Histogram("repl.ship")
+	s.mu.Unlock()
 }
 
 // SetBackups replaces the backup set (reconfiguration).
@@ -104,11 +125,22 @@ func (s *Shipper) Shipped() uint64 {
 // reconfigure the group), so Ship returns the first error only for callers
 // that want strict semantics.
 func (s *Shipper) Ship(object uint64, b *store.Batch) error {
+	return s.ShipCtx(telemetry.SpanContext{}, object, b)
+}
+
+// ShipCtx is Ship carrying the committing request's trace context, so the
+// backup-side apply spans join the caller's trace.
+func (s *Shipper) ShipCtx(ctx telemetry.SpanContext, object uint64, b *store.Batch) error {
 	s.mu.RLock()
 	backups := s.backups
+	shipUs := s.shipUs
 	s.mu.RUnlock()
 	if len(backups) == 0 {
 		return nil
+	}
+	var start time.Time
+	if shipUs != nil {
+		start = time.Now()
 	}
 	body := encodeApply(object, b)
 
@@ -120,7 +152,7 @@ func (s *Shipper) Ship(object uint64, b *store.Batch) error {
 	results := make(chan result, len(backups))
 	for _, addr := range backups {
 		go func(addr string) {
-			_, err := s.pool.Call(addr, MethodApply, body)
+			_, err := s.pool.CallCtx(addr, ctx, MethodApply, body)
 			results <- result{addr: addr, err: err}
 		}(addr)
 	}
@@ -133,12 +165,21 @@ func (s *Shipper) Ship(object uint64, b *store.Batch) error {
 			if s.onFailure != nil {
 				s.onFailure(r.addr, r.err)
 			}
+			if s.failures != nil {
+				s.failures.Inc()
+			}
 		}
+	}
+	if shipUs != nil {
+		shipUs.Record(time.Since(start))
 	}
 	if firstErr == nil {
 		s.mu.Lock()
 		s.shipped++
 		s.mu.Unlock()
+		if s.shippedCtr != nil {
+			s.shippedCtr.Inc()
+		}
 	}
 	return firstErr
 }
@@ -160,13 +201,32 @@ func ApplierFunc(fn func(object uint64, b *store.Batch) error) Applier { return 
 // RegisterBackup exposes the backup-side apply and fetch handlers on an RPC
 // server.
 func RegisterBackup(srv *rpc.Server, db *store.DB, applier Applier) {
-	srv.Handle(MethodApply, func(body []byte) ([]byte, error) {
+	RegisterBackupTelemetry(srv, db, applier, nil, nil)
+}
+
+// RegisterBackupTelemetry is RegisterBackup with observability: applied
+// write-sets are counted in reg ("repl.applied") and each apply records a
+// "repl.apply" span in tracer, parented to the primary's replicate span.
+// Both tracer and reg may be nil.
+func RegisterBackupTelemetry(srv *rpc.Server, db *store.DB, applier Applier, tracer *telemetry.Tracer, reg *telemetry.Registry) {
+	var applied *telemetry.Counter
+	if reg != nil {
+		applied = reg.Counter("repl.applied")
+	}
+	srv.HandleCtx(MethodApply, func(info rpc.CallInfo, body []byte) ([]byte, error) {
+		sp := tracer.StartSpan(info.Trace, "repl.apply")
 		msg, err := decodeApply(body)
+		if err != nil {
+			sp.FinishErr(err)
+			return nil, err
+		}
+		err = applier.ApplyReplicated(msg.object, msg.batch)
+		sp.FinishErr(err)
 		if err != nil {
 			return nil, err
 		}
-		if err := applier.ApplyReplicated(msg.object, msg.batch); err != nil {
-			return nil, err
+		if applied != nil {
+			applied.Inc()
 		}
 		return nil, nil
 	})

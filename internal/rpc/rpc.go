@@ -16,8 +16,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"lambdastore/internal/telemetry"
 	"lambdastore/internal/wire"
 )
 
@@ -43,10 +45,14 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
 
-// message is the wire unit.
+// message is the wire unit. Requests additionally carry the caller's trace
+// context (zero when untraced) so spans recorded on different nodes link
+// into one distributed trace.
 type message struct {
 	kind   byte
 	id     uint64
+	trace  uint64 // requests only: trace the call belongs to
+	parent uint64 // requests only: caller's span, parent of callee spans
 	method string // requests only
 	errStr string // responses only
 	body   []byte
@@ -55,6 +61,8 @@ type message struct {
 func (m *message) encode(dst []byte) []byte {
 	dst = append(dst, m.kind)
 	dst = wire.AppendUvarint(dst, m.id)
+	dst = wire.AppendUvarint(dst, m.trace)
+	dst = wire.AppendUvarint(dst, m.parent)
 	dst = wire.AppendString(dst, m.method)
 	dst = wire.AppendString(dst, m.errStr)
 	dst = wire.AppendBytes(dst, m.body)
@@ -70,6 +78,12 @@ func decodeMessage(b []byte) (*message, error) {
 	var err error
 	if m.id, rest, err = wire.Uvarint(rest); err != nil {
 		return nil, fmt.Errorf("rpc: message id: %w", err)
+	}
+	if m.trace, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("rpc: message trace: %w", err)
+	}
+	if m.parent, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, fmt.Errorf("rpc: message parent span: %w", err)
 	}
 	if m.method, rest, err = wire.String(rest); err != nil {
 		return nil, fmt.Errorf("rpc: message method: %w", err)
@@ -115,28 +129,71 @@ func readFrame(r io.Reader) (*message, error) {
 // a non-nil error is sent to the caller as a RemoteError.
 type Handler func(body []byte) ([]byte, error)
 
+// CallInfo carries per-request metadata into a handler: the caller's trace
+// context, restored from the request frame.
+type CallInfo struct {
+	Trace telemetry.SpanContext
+}
+
+// HandlerCtx is a Handler that also receives the request's CallInfo.
+type HandlerCtx func(info CallInfo, body []byte) ([]byte, error)
+
+// serverMetrics holds the pre-resolved instruments of an instrumented
+// server; nil means uninstrumented (zero overhead beyond one branch).
+type serverMetrics struct {
+	requests *telemetry.Counter
+	inFlight *telemetry.Gauge
+	rxBytes  *telemetry.Counter
+	txBytes  *telemetry.Counter
+	handleUs *telemetry.Histogram
+}
+
 // Server accepts connections and dispatches requests to registered
 // handlers. Each request runs in its own goroutine, so slow handlers do not
 // head-of-line block the connection.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]HandlerCtx
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	metrics *serverMetrics
 }
 
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]HandlerCtx),
 		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// SetTelemetry wires the server's hot-path counters into reg: requests,
+// in-flight requests, and bytes on the wire. Call before Serve.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = &serverMetrics{
+		requests: reg.Counter("rpc.server.requests"),
+		inFlight: reg.Gauge("rpc.server.in_flight"),
+		rxBytes:  reg.Counter("rpc.server.rx_bytes"),
+		txBytes:  reg.Counter("rpc.server.tx_bytes"),
+		handleUs: reg.Histogram("rpc.server.handle"),
 	}
 }
 
 // Handle registers fn for method, replacing any existing registration.
 func (s *Server) Handle(method string, fn Handler) {
+	s.HandleCtx(method, func(_ CallInfo, body []byte) ([]byte, error) { return fn(body) })
+}
+
+// HandleCtx registers a context-aware handler for method.
+func (s *Server) HandleCtx(method string, fn HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = fn
@@ -212,17 +269,33 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mu.RLock()
 		h := s.handlers[msg.method]
+		m := s.metrics
 		s.mu.RUnlock()
+		if m != nil {
+			m.requests.Inc()
+			m.rxBytes.Add(uint64(len(msg.body)))
+			m.inFlight.Inc()
+		}
 		reqWG.Add(1)
 		go func(msg *message) {
 			defer reqWG.Done()
+			start := time.Time{}
+			if m != nil {
+				start = time.Now()
+			}
+			info := CallInfo{Trace: telemetry.SpanContext{Trace: msg.trace, Span: msg.parent}}
 			resp := &message{kind: msgResponse, id: msg.id}
 			if h == nil {
 				resp.errStr = ErrNoMethod.Error() + ": " + msg.method
-			} else if body, err := h(msg.body); err != nil {
+			} else if body, err := h(info, msg.body); err != nil {
 				resp.errStr = err.Error()
 			} else {
 				resp.body = body
+			}
+			if m != nil {
+				m.handleUs.Record(time.Since(start))
+				m.txBytes.Add(uint64(len(resp.body)))
+				m.inFlight.Dec()
 			}
 			writeMu.Lock()
 			err := writeFrame(conn, resp)
@@ -280,6 +353,30 @@ func (o *ClientOptions) sanitize() ClientOptions {
 	return out
 }
 
+// clientMetrics holds the pre-resolved instruments of an instrumented
+// client; nil means uninstrumented.
+type clientMetrics struct {
+	calls    *telemetry.Counter
+	inFlight *telemetry.Gauge
+	rxBytes  *telemetry.Counter
+	txBytes  *telemetry.Counter
+	callUs   *telemetry.Histogram
+}
+
+// newClientMetrics resolves the shared outbound-call instruments.
+func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &clientMetrics{
+		calls:    reg.Counter("rpc.client.calls"),
+		inFlight: reg.Gauge("rpc.client.in_flight"),
+		rxBytes:  reg.Counter("rpc.client.rx_bytes"),
+		txBytes:  reg.Counter("rpc.client.tx_bytes"),
+		callUs:   reg.Histogram("rpc.client.call"),
+	}
+}
+
 // Client is a multiplexing connection to one server. Safe for concurrent
 // use; a failed connection fails all in-flight calls.
 type Client struct {
@@ -291,6 +388,8 @@ type Client struct {
 	pending map[uint64]chan *message
 	closed  bool
 	writeMu sync.Mutex
+
+	metrics atomic.Pointer[clientMetrics]
 }
 
 // Dial connects to addr.
@@ -347,6 +446,30 @@ func (c *Client) failAll(err error) {
 
 // Call invokes method with body and waits for the response.
 func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	return c.CallCtx(telemetry.SpanContext{}, method, body)
+}
+
+// CallCtx invokes method with body, attaching the caller's trace context to
+// the request frame so the server's spans join the caller's trace.
+func (c *Client) CallCtx(ctx telemetry.SpanContext, method string, body []byte) ([]byte, error) {
+	m := c.metrics.Load()
+	var start time.Time
+	if m != nil {
+		m.calls.Inc()
+		m.txBytes.Add(uint64(len(body)))
+		m.inFlight.Inc()
+		defer m.inFlight.Dec()
+		start = time.Now()
+	}
+	resp, err := c.call(ctx, method, body)
+	if m != nil {
+		m.callUs.Record(time.Since(start))
+		m.rxBytes.Add(uint64(len(resp)))
+	}
+	return resp, err
+}
+
+func (c *Client) call(ctx telemetry.SpanContext, method string, body []byte) ([]byte, error) {
 	if c.opts.Delay > 0 {
 		time.Sleep(c.opts.Delay)
 	}
@@ -361,7 +484,7 @@ func (c *Client) Call(method string, body []byte) ([]byte, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	req := &message{kind: msgRequest, id: id, method: method, body: body}
+	req := &message{kind: msgRequest, id: id, trace: ctx.Trace, parent: ctx.Span, method: method, body: body}
 	c.writeMu.Lock()
 	err := writeFrame(c.conn, req)
 	c.writeMu.Unlock()
@@ -414,11 +537,24 @@ type Pool struct {
 
 	mu      sync.Mutex
 	clients map[string]*Client
+	metrics *clientMetrics
 }
 
 // NewPool returns an empty pool using opts for every connection.
 func NewPool(opts *ClientOptions) *Pool {
 	return &Pool{opts: opts.sanitize(), clients: make(map[string]*Client)}
+}
+
+// SetTelemetry wires outbound-call counters (calls, in-flight, bytes on the
+// wire) into reg for every connection the pool hands out.
+func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
+	m := newClientMetrics(reg)
+	p.mu.Lock()
+	p.metrics = m
+	for _, c := range p.clients {
+		c.metrics.Store(m)
+	}
+	p.mu.Unlock()
 }
 
 // Get returns a live client for addr, dialing if needed.
@@ -437,6 +573,9 @@ func (p *Pool) Get(addr string) (*Client, error) {
 		return nil, err
 	}
 	p.mu.Lock()
+	if p.metrics != nil {
+		nc.metrics.Store(p.metrics)
+	}
 	if existing, ok := p.clients[addr]; ok && !existing.Closed() {
 		p.mu.Unlock()
 		nc.Close()
@@ -449,11 +588,16 @@ func (p *Pool) Get(addr string) (*Client, error) {
 
 // Call is shorthand for Get(addr).Call(method, body).
 func (p *Pool) Call(addr, method string, body []byte) ([]byte, error) {
+	return p.CallCtx(addr, telemetry.SpanContext{}, method, body)
+}
+
+// CallCtx is shorthand for Get(addr).CallCtx(ctx, method, body).
+func (p *Pool) CallCtx(addr string, ctx telemetry.SpanContext, method string, body []byte) ([]byte, error) {
 	c, err := p.Get(addr)
 	if err != nil {
 		return nil, err
 	}
-	return c.Call(method, body)
+	return c.CallCtx(ctx, method, body)
 }
 
 // Close closes every pooled client.

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lambdastore/internal/telemetry"
 )
 
 func startEcho(t *testing.T) (*Server, string) {
@@ -265,5 +267,84 @@ func TestLargePayload(t *testing.T) {
 	got, err := c.Call("echo", big)
 	if err != nil || !bytes.Equal(got, big) {
 		t.Fatalf("large echo failed: len=%d err=%v", len(got), err)
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	s := NewServer()
+	var mu sync.Mutex
+	var seen []telemetry.SpanContext
+	s.HandleCtx("traced", func(info CallInfo, body []byte) ([]byte, error) {
+		mu.Lock()
+		seen = append(seen, info.Trace)
+		mu.Unlock()
+		return body, nil
+	})
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := telemetry.SpanContext{Trace: 0xdeadbeef, Span: 0x1234}
+	if _, err := c.CallCtx(ctx, "traced", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A plain Call must arrive untraced.
+	if _, err := c.Call("traced", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("handler saw %d calls", len(seen))
+	}
+	if seen[0] != ctx {
+		t.Fatalf("handler saw context %+v, want %+v", seen[0], ctx)
+	}
+	if seen[1].Valid() {
+		t.Fatalf("untraced call carried context %+v", seen[1])
+	}
+}
+
+func TestPoolCallCtxAndTelemetry(t *testing.T) {
+	s := NewServer()
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	var got telemetry.SpanContext
+	s.HandleCtx("probe", func(info CallInfo, body []byte) ([]byte, error) {
+		got = info.Trace
+		return body, nil
+	})
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := NewPool(nil)
+	p.SetTelemetry(reg)
+	defer p.Close()
+	ctx := telemetry.NewRootContext()
+	if _, err := p.CallCtx(addr, ctx, "probe", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if got != ctx {
+		t.Fatalf("pool call carried %+v, want %+v", got, ctx)
+	}
+	if n := reg.Counter("rpc.server.requests").Value(); n != 1 {
+		t.Fatalf("rpc.server.requests = %d", n)
+	}
+	if n := reg.Counter("rpc.client.calls").Value(); n != 1 {
+		t.Fatalf("rpc.client.calls = %d", n)
+	}
+	if n := reg.Counter("rpc.server.rx_bytes").Value(); n == 0 {
+		t.Fatal("rpc.server.rx_bytes not counted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"time"
 )
 
 // Background work: memtable flushes and leveled compactions. One goroutine
@@ -32,9 +33,9 @@ func (db *DB) backgroundLoop() {
 			var work func() error
 			switch {
 			case db.imm != nil:
-				work = db.flushMemtable
+				work = db.meteredFlush
 			case !db.opts.DisableCompaction && db.pickCompactionLevel() >= 0:
-				work = db.compactOnce
+				work = db.meteredCompact
 			}
 			if work == nil {
 				db.bgActive = false
@@ -59,6 +60,27 @@ func (db *DB) backgroundLoop() {
 			db.mu.Unlock()
 		}
 	}
+}
+
+// meteredFlush runs flushMemtable, counting successful flushes.
+func (db *DB) meteredFlush() error {
+	err := db.flushMemtable()
+	if err == nil && db.metrics != nil {
+		db.metrics.flushes.Inc()
+	}
+	return err
+}
+
+// meteredCompact runs compactOnce, counting rounds and recording their
+// duration.
+func (db *DB) meteredCompact() error {
+	start := time.Now()
+	err := db.compactOnce()
+	if err == nil && db.metrics != nil {
+		db.metrics.compactions.Inc()
+		db.metrics.compactUs.Record(time.Since(start))
+	}
+	return err
 }
 
 // flushMemtable writes db.imm to a new L0 table and retires its WAL.

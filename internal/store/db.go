@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+
+	"lambdastore/internal/telemetry"
 )
 
 // DB is an embedded LSM-tree key-value store. All methods are safe for
@@ -41,6 +43,31 @@ type DB struct {
 	bgWork chan struct{}
 	bgQuit chan struct{}
 	bgDone chan struct{}
+
+	// metrics holds pre-resolved instruments (nil when Options.Metrics is
+	// unset); see dbMetrics.
+	metrics *dbMetrics
+}
+
+// dbMetrics caches the store's instruments so hot paths skip the registry.
+type dbMetrics struct {
+	writes      *telemetry.Counter
+	walBytes    *telemetry.Counter
+	walSyncs    *telemetry.Counter
+	flushes     *telemetry.Counter
+	compactions *telemetry.Counter
+	compactUs   *telemetry.Histogram
+}
+
+func newDBMetrics(reg *telemetry.Registry) *dbMetrics {
+	return &dbMetrics{
+		writes:      reg.Counter("store.writes"),
+		walBytes:    reg.Counter("store.wal_bytes"),
+		walSyncs:    reg.Counter("store.wal_syncs"),
+		flushes:     reg.Counter("store.flushes"),
+		compactions: reg.Counter("store.compactions"),
+		compactUs:   reg.Histogram("store.compact"),
+	}
 }
 
 // Open opens (creating if necessary) the database in dir.
@@ -73,6 +100,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 		bgWork:   make(chan struct{}, 1),
 		bgQuit:   make(chan struct{}),
 		bgDone:   make(chan struct{}),
+	}
+	if opts.Metrics != nil {
+		db.metrics = newDBMetrics(opts.Metrics)
 	}
 	db.cond = sync.NewCond(&db.mu)
 
@@ -246,8 +276,16 @@ func (db *DB) Write(b *Batch) error {
 		return err
 	}
 	b.startSeq = db.lastSeq + 1
-	if err := db.wal.append(b.encode(nil), db.opts.SyncWrites); err != nil {
+	rec := b.encode(nil)
+	if err := db.wal.append(rec, db.opts.SyncWrites); err != nil {
 		return err
+	}
+	if m := db.metrics; m != nil {
+		m.writes.Inc()
+		m.walBytes.Add(uint64(len(rec)))
+		if db.opts.SyncWrites {
+			m.walSyncs.Inc()
+		}
 	}
 	if err := b.apply(db.mem); err != nil {
 		return err
@@ -605,6 +643,15 @@ func (db *DB) Flush() error {
 	err := db.bgErr
 	db.mu.Unlock()
 	return err
+}
+
+// BlockCacheStats returns the shared block cache's cumulative (hits,
+// misses); both zero when the cache is disabled.
+func (db *DB) BlockCacheStats() (hits, misses uint64) {
+	if db.tcache == nil || db.tcache.blocks == nil {
+		return 0, 0
+	}
+	return db.tcache.blocks.stats()
 }
 
 // TableCount returns the number of live tables per level (for tests and the

@@ -1,6 +1,10 @@
 package store
 
-import "errors"
+import (
+	"errors"
+
+	"lambdastore/internal/telemetry"
+)
 
 // Common errors returned by the DB.
 var (
@@ -49,6 +53,9 @@ type Options struct {
 	// DisableCompaction turns off background compaction (used by tests to
 	// control table layout deterministically).
 	DisableCompaction bool
+	// Metrics, if set, receives storage counters: batch writes, WAL bytes
+	// and syncs, memtable flushes, and compactions.
+	Metrics *telemetry.Registry
 }
 
 // NewOptions returns production defaults scaled for test-friendly sizes.

@@ -9,14 +9,17 @@ package telemetry
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// bucketCount covers 1us .. ~1000s with ~4.4% resolution (log base 2^(1/16)).
+// bucketCount covers 1us .. ~4295s with at worst ~6% resolution: each
+// power-of-two octave is split into bucketsPerOct linear sub-buckets
+// (HdrHistogram's log-linear layout), which keeps bucketIndex pure integer
+// arithmetic on the record hot path.
 const (
 	bucketCount    = 512
 	bucketsPerOct  = 16
@@ -32,17 +35,24 @@ type Histogram struct {
 	maxUs   atomic.Uint64
 }
 
-// bucketIndex maps a latency in microseconds to its bucket.
+// bucketIndex maps a latency in microseconds to its bucket: the exponent
+// selects the octave, the top four mantissa bits select the linear
+// sub-bucket within it. Integer-only (bits.Len64), so there is no float
+// rounding at bucket edges: 2^k always lands exactly at index k*16.
 func bucketIndex(us uint64) int {
 	if us < minTrackableUs {
 		us = minTrackableUs
 	}
-	idx := int(math.Log2(float64(us)) * bucketsPerOct)
+	e := uint(bits.Len64(us)) - 1 // floor(log2(us))
+	var sub uint64
+	if e >= 4 {
+		sub = (us - 1<<e) >> (e - 4)
+	} else {
+		sub = (us - 1<<e) << (4 - e)
+	}
+	idx := int(e)*bucketsPerOct + int(sub)
 	if idx >= bucketCount {
 		idx = bucketCount - 1
-	}
-	if idx < 0 {
-		idx = 0
 	}
 	return idx
 }
@@ -50,7 +60,9 @@ func bucketIndex(us uint64) int {
 // bucketValueUs returns the representative latency (upper bound) of bucket i
 // in microseconds.
 func bucketValueUs(i int) float64 {
-	return math.Exp2(float64(i+1) / bucketsPerOct)
+	e := i / bucketsPerOct
+	sub := i % bucketsPerOct
+	return float64(uint64(1)<<uint(e)) * (1 + float64(sub+1)/bucketsPerOct)
 }
 
 // Record adds one observation.
@@ -149,12 +161,34 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
-// Registry names and aggregates histograms and counters for one experiment
-// run.
+// Gauge is an instantaneous level (in-flight requests, queue depths). It may
+// go up and down, unlike a Counter.
+type Gauge struct{ n atomic.Int64 }
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.n.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.n.Add(-1) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// Registry names and aggregates histograms, counters and gauges for one
+// node or experiment run. Lookups take a mutex, so hot paths should resolve
+// their instruments once and hold the pointer; recording on the returned
+// instrument is atomic and allocation-free.
 type Registry struct {
 	mu         sync.Mutex
 	histograms map[string]*Histogram
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -162,6 +196,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		histograms: make(map[string]*Histogram),
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 	}
 }
 
@@ -201,12 +236,36 @@ func (r *Registry) HistogramNames() []string {
 	return names
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // CounterNames returns the sorted names of all counters.
 func (r *Registry) CounterNames() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the sorted names of all gauges.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
