@@ -3,13 +3,14 @@
 #   make build   compile everything (library + commands)
 #   make test    full test suite
 #   make race    race-detector pass over the concurrency-heavy packages
+#   make chaos   seeded failover chaos suite under the race detector
 #   make bench   telemetry hot-path benchmarks (must report 0 allocs/op)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race bench vet check clean
+.PHONY: all build test race chaos bench vet check clean
 
 all: build
 
@@ -23,6 +24,12 @@ test:
 # cluster node, and the telemetry instruments themselves.
 race:
 	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/telemetry/
+
+# Deterministic failover chaos: every seed replays the same kill/partition/
+# fsync-failure schedule (see EXPERIMENTS.md "Chaos runs"). The smoke
+# variant already rides in `make test`; this is the full multi-seed pass.
+chaos:
+	$(GO) test -run TestChaos -race -count=1 ./internal/chaos/
 
 bench:
 	$(GO) test -run Telemetry -bench . -benchmem ./internal/telemetry/

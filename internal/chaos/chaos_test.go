@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"testing"
+
+	"lambdastore/internal/fault"
+)
+
+// newChaosCluster boots a 3-node group plus a 3-replica coordinator
+// ensemble. The fault plane is process-global, so chaos tests must not
+// run in parallel (they don't: no t.Parallel here by design).
+func newChaosCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := Start(Options{BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("chaos start: %v", err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		fault.Reset()
+	})
+	return c
+}
+
+// TestChaosSmoke is the fast tier-1 variant: one crash-promote-recover
+// cycle with a small workload.
+func TestChaosSmoke(t *testing.T) {
+	c := newChaosCluster(t)
+	rep, err := Run(c, RunOptions{
+		Seed:      1,
+		Scenarios: []Scenario{ScenarioCrashPrimary},
+		BurstOps:  8,
+		Objects:   2,
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if rep.ExpectedPromotions != 1 {
+		t.Fatalf("expected 1 promotion, schedule produced %d", rep.ExpectedPromotions)
+	}
+	if rep.AckedTotal == 0 {
+		t.Fatal("no writes acknowledged")
+	}
+	t.Logf("smoke: %d acked, %d failed, recovery attempts %v",
+		rep.AckedTotal, rep.FailedOps, rep.RecoveryAttempts)
+}
+
+// TestChaos runs the full shuffled scenario set — primary crash, link
+// partition, WAL fsync failure, gray heartbeat loss, frame dup/delay —
+// for three distinct seeds. Each seed gets a fresh cluster; the seed
+// fixes the scenario order, the workload's object choices and the fault
+// plane's rule streams.
+func TestChaos(t *testing.T) {
+	for _, seed := range []uint64{1, 0x5eed2, 0xc0ffee} {
+		seed := seed
+		t.Run(fmt_seed(seed), func(t *testing.T) {
+			c := newChaosCluster(t)
+			rep, err := Run(c, RunOptions{Seed: seed, Log: t.Logf})
+			if err != nil {
+				t.Fatalf("chaos run (seed %#x): %v", seed, err)
+			}
+			t.Logf("seed %#x: scenarios %v, %d acked, %d failed, %d promotions, recovery %v",
+				seed, rep.Scenarios, rep.AckedTotal, rep.FailedOps,
+				rep.ExpectedPromotions, rep.RecoveryAttempts)
+		})
+	}
+}
+
+func fmt_seed(s uint64) string {
+	const hex = "0123456789abcdef"
+	buf := []byte("seed-0x")
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := (s >> uint(shift)) & 0xf
+		if d == 0 && !started && shift > 0 {
+			continue
+		}
+		started = true
+		buf = append(buf, hex[d])
+	}
+	return string(buf)
+}
+
+// TestChaosPromotionUnderHeartbeatLoss covers coordinator promotion
+// under heartbeat loss: a gray failure (heartbeats dropped, node still
+// serving) followed by a full partition of the then-current primary.
+// Each failure must yield exactly one promotion on a coordinator
+// majority and never more than one on any replica, and every write
+// acknowledged before the partition must be readable after it.
+func TestChaosPromotionUnderHeartbeatLoss(t *testing.T) {
+	c := newChaosCluster(t)
+	rep, err := Run(c, RunOptions{
+		Seed:      0x4b1d,
+		Scenarios: []Scenario{ScenarioHeartbeatLoss, ScenarioPartitionPrimary},
+		BurstOps:  15,
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if rep.ExpectedPromotions != 2 {
+		t.Fatalf("expected 2 promotions, schedule produced %d", rep.ExpectedPromotions)
+	}
+	// Safety: no replica ever applies more promotions than failures.
+	// Liveness: a majority applied exactly that many.
+	exact := 0
+	coords := c.Coordinators()
+	for i, svc := range coords {
+		got := svc.PromoteCounts()[0]
+		if got > rep.ExpectedPromotions {
+			t.Errorf("coordinator %d applied %d promotions, want at most %d (single-primary violation)",
+				i, got, rep.ExpectedPromotions)
+		}
+		if got == rep.ExpectedPromotions {
+			exact++
+		}
+	}
+	if exact <= len(coords)/2 {
+		t.Errorf("only %d/%d coordinator replicas applied %d promotions",
+			exact, len(coords), rep.ExpectedPromotions)
+	}
+}

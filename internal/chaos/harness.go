@@ -1,0 +1,328 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lambdastore/internal/cluster"
+	"lambdastore/internal/coordinator"
+	"lambdastore/internal/paxos"
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/shard"
+	"lambdastore/internal/store"
+)
+
+// Options configures a chaos cluster.
+type Options struct {
+	// Nodes is the storage node count; all join group 0, first node is
+	// the initial primary (default 3).
+	Nodes int
+	// Coordinators is the coordinator replica count (default 3).
+	Coordinators int
+	// BaseDir holds one data directory per storage node (required; the
+	// harness creates node<i> subdirectories). Restarts reuse them.
+	BaseDir string
+	// HeartbeatInterval is the storage nodes' liveness report period
+	// (default 50ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a silent node stays "alive" at the
+	// coordinator (default 300ms).
+	HeartbeatTimeout time.Duration
+	// CheckInterval is the failure-detector sweep period (default 50ms).
+	CheckInterval time.Duration
+	// ClientRetries bounds the cluster client's per-invoke retry loop
+	// (default 4; recovery loops retry whole invokes on top).
+	ClientRetries int
+}
+
+func (o *Options) defaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Coordinators <= 0 {
+		o.Coordinators = 3
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 300 * time.Millisecond
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = 50 * time.Millisecond
+	}
+}
+
+// nodeSlot tracks one storage node across kill/restart cycles: the
+// concrete address and data directory survive the process-local "death"
+// so a restart is a faithful crash-recovery (WAL replay, same identity).
+type nodeSlot struct {
+	addr    string
+	dataDir string
+	node    *cluster.Node // nil while down
+}
+
+// Cluster is an in-process LambdaStore deployment under chaos: a
+// Paxos-replicated coordinator ensemble plus one replica group of
+// storage nodes with durable (fsync) write-ahead logging, fronted by a
+// failover-aware client.
+type Cluster struct {
+	opts Options
+
+	pool       *rpc.Pool
+	coordSrvs  []*rpc.Server
+	coordSvcs  []*coordinator.Service
+	coordAddrs []string
+
+	slots  []*nodeSlot
+	client *cluster.Client
+}
+
+// Start boots coordinators and storage nodes and installs the group
+// configuration. It returns once the initial primary is serving writes.
+func Start(opts Options) (*Cluster, error) {
+	opts.defaults()
+	if opts.BaseDir == "" {
+		return nil, fmt.Errorf("chaos: Options.BaseDir is required")
+	}
+	c := &Cluster{opts: opts, pool: rpc.NewPool(nil)}
+
+	// Coordinator ensemble.
+	ids := make([]uint64, opts.Coordinators)
+	addrByID := make(map[uint64]string, opts.Coordinators)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	for _, id := range ids {
+		svc := coordinator.New(id, ids, nil, coordinator.Options{
+			HeartbeatTimeout: opts.HeartbeatTimeout,
+			CheckInterval:    opts.CheckInterval,
+		})
+		srv := rpc.NewServer()
+		coordinator.RegisterServer(srv, svc)
+		addr, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("chaos: coordinator serve: %w", err)
+		}
+		c.coordSvcs = append(c.coordSvcs, svc)
+		c.coordSrvs = append(c.coordSrvs, srv)
+		c.coordAddrs = append(c.coordAddrs, addr)
+		addrByID[id] = addr
+	}
+	for _, svc := range c.coordSvcs {
+		svc.SetTransport(paxos.NewRPCTransport(svc.Node(), c.pool, addrByID))
+		svc.Start()
+	}
+
+	// Storage nodes: durable WAL so a restart is a real crash recovery.
+	for i := 0; i < opts.Nodes; i++ {
+		dataDir := filepath.Join(opts.BaseDir, fmt.Sprintf("node%d", i))
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			c.Close()
+			return nil, err
+		}
+		slot := &nodeSlot{dataDir: dataDir}
+		node, err := cluster.StartNode(cluster.NodeOptions{
+			Addr:              "127.0.0.1:0",
+			DataDir:           dataDir,
+			Store:             &store.Options{SyncWrites: true},
+			GroupID:           0,
+			Coordinators:      c.coordAddrs,
+			HeartbeatInterval: opts.HeartbeatInterval,
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("chaos: start node %d: %w", i, err)
+		}
+		slot.addr = node.Addr()
+		slot.node = node
+		c.slots = append(c.slots, slot)
+	}
+
+	// Group configuration through the coordinator (first node primary).
+	cc := coordinator.NewClient(c.pool, c.coordAddrs)
+	g := shard.Group{ID: 0, Primary: c.slots[0].addr}
+	for _, s := range c.slots[1:] {
+		g.Backups = append(g.Backups, s.addr)
+	}
+	if err := cc.SetGroup(g); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("chaos: set group: %w", err)
+	}
+
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Coordinators: c.coordAddrs,
+		MaxRetries:   opts.ClientRetries,
+		// Tight backoff pacing: the harness's failure-detector timeouts are
+		// hundreds of milliseconds, so production retry delays would only
+		// slow the schedule down without exercising anything extra.
+		RetryBaseDelay: 2 * time.Millisecond,
+		RetryMaxDelay:  25 * time.Millisecond,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.client = client
+
+	// Wait until a coordinator majority has liveness entries for every
+	// node, so the failure detector is actually watching before any
+	// schedule starts killing things.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		covered := 0
+		for _, svc := range c.coordSvcs {
+			seen := svc.LastSeen()
+			all := true
+			for _, s := range c.slots {
+				if age, ok := seen[s.addr]; !ok || age > opts.HeartbeatTimeout {
+					all = false
+					break
+				}
+			}
+			if all {
+				covered++
+			}
+		}
+		if covered > len(c.coordSvcs)/2 {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			c.Close()
+			return nil, fmt.Errorf("chaos: storage nodes never registered with the failure detector")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Client returns the failover-aware cluster client.
+func (c *Cluster) Client() *cluster.Client { return c.client }
+
+// CoordAddrs returns the coordinator replica addresses.
+func (c *Cluster) CoordAddrs() []string { return c.coordAddrs }
+
+// Coordinators returns the coordinator replica services (for invariant
+// probes such as PromoteCounts).
+func (c *Cluster) Coordinators() []*coordinator.Service { return c.coordSvcs }
+
+// NodeAddr returns node i's stable address (valid across restarts).
+func (c *Cluster) NodeAddr(i int) string { return c.slots[i].addr }
+
+// NodeDataDir returns node i's data directory — the wal.sync fault key.
+func (c *Cluster) NodeDataDir(i int) string { return c.slots[i].dataDir }
+
+// Alive reports whether node i is currently running.
+func (c *Cluster) Alive(i int) bool { return c.slots[i].node != nil }
+
+// Nodes returns the storage node count.
+func (c *Cluster) Nodes() int { return len(c.slots) }
+
+// Kill crashes node i: the process-local equivalent of pulling the
+// plug — connections drop, heartbeats stop, no graceful handoff beyond
+// what Close's shutdown already does.
+func (c *Cluster) Kill(i int) error {
+	s := c.slots[i]
+	if s.node == nil {
+		return fmt.Errorf("chaos: node %d already down", i)
+	}
+	err := s.node.Close()
+	s.node = nil
+	return err
+}
+
+// Restart brings a killed node back on its original address and data
+// directory: state recovers from the WAL and SSTs, heartbeats resume.
+// The node rejoins as a spare — it is NOT re-added to the group, because
+// writes acknowledged during its downtime are missing from its store
+// and there is no anti-entropy backfill (ROADMAP) to catch it up.
+func (c *Cluster) Restart(i int) error {
+	s := c.slots[i]
+	if s.node != nil {
+		return fmt.Errorf("chaos: node %d already up", i)
+	}
+	node, err := cluster.StartNode(cluster.NodeOptions{
+		Addr:              s.addr,
+		DataDir:           s.dataDir,
+		Store:             &store.Options{SyncWrites: true},
+		GroupID:           0,
+		Coordinators:      c.coordAddrs,
+		HeartbeatInterval: c.opts.HeartbeatInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: restart node %d: %w", i, err)
+	}
+	s.node = node
+	return nil
+}
+
+// Group returns the current group 0 configuration as the coordinator
+// majority sees it.
+func (c *Cluster) Group() (shard.Group, error) {
+	cc := coordinator.NewClient(c.pool, c.coordAddrs)
+	d, err := cc.GetConfig()
+	if err != nil {
+		return shard.Group{}, err
+	}
+	for _, g := range d.Groups() {
+		if g.ID == 0 {
+			return g, nil
+		}
+	}
+	return shard.Group{}, fmt.Errorf("chaos: group 0 not configured")
+}
+
+// RefreshClientConfig force-feeds the client the coordinator majority's
+// current configuration (the client otherwise refreshes lazily on
+// failures).
+func (c *Cluster) RefreshClientConfig() error {
+	cc := coordinator.NewClient(c.pool, c.coordAddrs)
+	d, err := cc.GetConfig()
+	if err != nil {
+		return err
+	}
+	c.client.SetDirectory(d)
+	return nil
+}
+
+// PrimaryIndex resolves the current primary to a node slot index.
+func (c *Cluster) PrimaryIndex() (int, error) {
+	g, err := c.Group()
+	if err != nil {
+		return -1, err
+	}
+	for i, s := range c.slots {
+		if s.addr == g.Primary {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("chaos: primary %s is not a harness node", g.Primary)
+}
+
+// Close tears the whole cluster down (idempotent).
+func (c *Cluster) Close() {
+	if c.client != nil {
+		c.client.Close()
+		c.client = nil
+	}
+	for _, s := range c.slots {
+		if s.node != nil {
+			s.node.Close()
+			s.node = nil
+		}
+	}
+	for _, svc := range c.coordSvcs {
+		svc.Close()
+	}
+	c.coordSvcs = nil
+	for _, srv := range c.coordSrvs {
+		srv.Close()
+	}
+	c.coordSrvs = nil
+	if c.pool != nil {
+		c.pool.Close()
+		c.pool = nil
+	}
+}

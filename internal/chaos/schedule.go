@@ -1,0 +1,473 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"lambdastore/internal/cluster"
+	"lambdastore/internal/core"
+	"lambdastore/internal/fault"
+)
+
+// Scenario is one fault class the schedule can inject against the
+// current primary.
+type Scenario int
+
+const (
+	// ScenarioCrashPrimary kills the primary process and later restarts
+	// it on the same address and data directory (WAL recovery).
+	ScenarioCrashPrimary Scenario = iota
+	// ScenarioPartitionPrimary isolates the primary from every other
+	// endpoint (coordinators, backups, clients) via the partition
+	// matrix; heartbeats stop, so a backup is promoted.
+	ScenarioPartitionPrimary
+	// ScenarioWALSyncFail makes every fsync on the primary's database
+	// fail: commits error, no write is acknowledged, no promotion
+	// happens (the node stays live).
+	ScenarioWALSyncFail
+	// ScenarioHeartbeatLoss is a gray failure: the primary keeps
+	// serving but its liveness reports are dropped, so the coordinator
+	// promotes a backup out from under it.
+	ScenarioHeartbeatLoss
+	// ScenarioDupDelay duplicates and delays frames to the primary —
+	// at-least-once probing; the ledger may grow duplicate entries but
+	// must lose nothing.
+	ScenarioDupDelay
+
+	numScenarios
+)
+
+// AllScenarios lists every scenario in declaration order.
+var AllScenarios = []Scenario{
+	ScenarioCrashPrimary,
+	ScenarioPartitionPrimary,
+	ScenarioWALSyncFail,
+	ScenarioHeartbeatLoss,
+	ScenarioDupDelay,
+}
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioCrashPrimary:
+		return "crash-primary"
+	case ScenarioPartitionPrimary:
+		return "partition-primary"
+	case ScenarioWALSyncFail:
+		return "wal-sync-fail"
+	case ScenarioHeartbeatLoss:
+		return "heartbeat-loss"
+	case ScenarioDupDelay:
+		return "dup-delay"
+	}
+	return fmt.Sprintf("scenario(%d)", int(s))
+}
+
+// RunOptions parameterizes one chaos run.
+type RunOptions struct {
+	// Seed drives the whole schedule: scenario order, object choice and
+	// the fault plane's rule streams. Same seed, same schedule.
+	Seed uint64
+	// Scenarios is the injection sequence. Nil means a seed-derived
+	// shuffle of AllScenarios, so every run covers every fault class.
+	Scenarios []Scenario
+	// BurstOps is the number of appends per workload burst (default 25).
+	BurstOps int
+	// Objects is the ledger object count (default 4).
+	Objects int
+	// MaxRecoveryAttempts bounds the post-heal availability probe — the
+	// harness's third invariant (default 400 attempts at 25ms spacing).
+	MaxRecoveryAttempts int
+	// PromoteTimeout bounds the wait for an expected promotion to land
+	// on a coordinator majority (default 10s).
+	PromoteTimeout time.Duration
+	// Log, if set, receives progress lines (t.Logf fits).
+	Log func(format string, args ...any)
+}
+
+func (o *RunOptions) defaults() {
+	if o.BurstOps <= 0 {
+		o.BurstOps = 25
+	}
+	if o.Objects <= 0 {
+		o.Objects = 4
+	}
+	if o.MaxRecoveryAttempts <= 0 {
+		o.MaxRecoveryAttempts = 400
+	}
+	if o.PromoteTimeout <= 0 {
+		o.PromoteTimeout = 10 * time.Second
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+}
+
+// Report is the outcome of a chaos run. A nil error from Run means all
+// three invariants held for this schedule.
+type Report struct {
+	Scenarios []Scenario
+	// Acked records every write id the client saw acknowledged, per
+	// object — the ground truth for the no-lost-ack invariant.
+	Acked map[core.ObjectID][]uint64
+	// AckedTotal and FailedOps summarize the workload.
+	AckedTotal int
+	FailedOps  int
+	// ExpectedPromotions is how many primary failures should each have
+	// produced exactly one promotion.
+	ExpectedPromotions uint64
+	// RecoveryAttempts[i] is how many write attempts scenario i's heal
+	// needed before the cluster acknowledged again.
+	RecoveryAttempts []int
+}
+
+// rng is a splitmix64 stream for schedule decisions (object choice,
+// scenario shuffle) — independent of the fault plane's rule streams.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// shuffledScenarios returns AllScenarios in a seed-dependent order.
+func shuffledScenarios(r *rng) []Scenario {
+	out := append([]Scenario(nil), AllScenarios...)
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// runner threads one chaos run's state.
+type runner struct {
+	c       *Cluster
+	client  *cluster.Client
+	opts    RunOptions
+	rng     rng
+	objects []core.ObjectID
+	report  *Report
+	nextID  uint64
+}
+
+// Run executes a seeded fault schedule against the cluster and checks
+// the invariants. The fault plane is reset before and after: a Run owns
+// the process-global plane for its duration, so runs must not overlap.
+func Run(c *Cluster, opts RunOptions) (*Report, error) {
+	opts.defaults()
+	fault.Reset()
+	fault.SetSeed(opts.Seed)
+	defer fault.Reset()
+
+	r := &runner{
+		c:      c,
+		client: c.Client(),
+		opts:   opts,
+		rng:    rng{s: opts.Seed ^ 0x5851f42d4c957f2d},
+		report: &Report{Acked: make(map[core.ObjectID][]uint64)},
+		nextID: 1,
+	}
+	r.report.Scenarios = opts.Scenarios
+	if r.report.Scenarios == nil {
+		r.report.Scenarios = shuffledScenarios(&r.rng)
+	}
+
+	if err := r.setup(); err != nil {
+		return r.report, err
+	}
+	for i, s := range r.report.Scenarios {
+		opts.Log("chaos: scenario %d/%d: %s", i+1, len(r.report.Scenarios), s)
+		if err := r.runScenario(s); err != nil {
+			return r.report, fmt.Errorf("chaos: scenario %s: %w", s, err)
+		}
+	}
+	if err := r.verify(); err != nil {
+		return r.report, err
+	}
+	if r.report.AckedTotal == 0 {
+		return r.report, fmt.Errorf("chaos: workload acknowledged nothing — schedule proved nothing")
+	}
+	return r.report, nil
+}
+
+// setup installs the Ledger type and creates the workload objects,
+// waiting out the initial configuration propagation.
+func (r *runner) setup() error {
+	typ, err := LedgerType()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := r.c.RefreshClientConfig()
+		if err == nil && len(r.client.Directory().Groups()) > 0 {
+			if err = r.client.RegisterType(typ); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: cluster never became configurable: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for i := 0; i < r.opts.Objects; i++ {
+		id := core.ObjectID(i + 1)
+		var lastErr error
+		for {
+			if lastErr = r.client.CreateObject("Ledger", id); lastErr == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("chaos: create object %d: %w", id, lastErr)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		r.objects = append(r.objects, id)
+	}
+	return nil
+}
+
+// burst appends n unique ids across the workload objects, recording
+// which the cluster acknowledged. Failures are expected under active
+// faults; an id whose append errored MAY still be applied (at-least-
+// once), which the verifier tolerates.
+func (r *runner) burst(n int) {
+	for i := 0; i < n; i++ {
+		obj := r.objects[r.rng.intn(len(r.objects))]
+		id := r.nextID
+		r.nextID++
+		_, err := r.client.Invoke(obj, "append", [][]byte{core.I64Bytes(int64(id))})
+		if err == nil {
+			r.report.Acked[obj] = append(r.report.Acked[obj], id)
+			r.report.AckedTotal++
+		} else {
+			r.report.FailedOps++
+		}
+	}
+}
+
+// runScenario performs one inject → fault burst → (await promotion) →
+// heal → bounded-recovery cycle.
+func (r *runner) runScenario(s Scenario) error {
+	r.burst(r.opts.BurstOps)
+
+	pi, err := r.c.PrimaryIndex()
+	if err != nil {
+		return fmt.Errorf("resolve primary: %w", err)
+	}
+	g, err := r.c.Group()
+	if err != nil {
+		return err
+	}
+	addr, dataDir := r.c.NodeAddr(pi), r.c.NodeDataDir(pi)
+
+	expectPromote := false
+	var heal func() error
+	switch s {
+	case ScenarioCrashPrimary:
+		expectPromote = len(g.Backups) > 0
+		if err := r.c.Kill(pi); err != nil {
+			return err
+		}
+		heal = func() error { return r.c.Restart(pi) }
+	case ScenarioPartitionPrimary:
+		expectPromote = len(g.Backups) > 0
+		fault.Partition(addr, fault.Wildcard)
+		heal = func() error { fault.Heal(addr, fault.Wildcard); return nil }
+	case ScenarioWALSyncFail:
+		fault.Add(fault.Rule{Site: fault.SiteWALSync, Key: dataDir, Action: fault.Error, Err: "injected fsync failure"})
+		heal = func() error { fault.Remove(fault.SiteWALSync, dataDir); return nil }
+	case ScenarioHeartbeatLoss:
+		expectPromote = len(g.Backups) > 0
+		fault.Add(fault.Rule{Site: fault.SiteCoordHeartbeat, Key: addr, Action: fault.Drop})
+		heal = func() error { fault.Remove(fault.SiteCoordHeartbeat, addr); return nil }
+	case ScenarioDupDelay:
+		fault.Add(fault.Rule{Site: fault.SiteRPCSend, Key: addr, Action: fault.Duplicate, P: 0.4})
+		fault.Add(fault.Rule{Site: fault.SiteRPCRecv, Key: addr, Action: fault.Delay, Delay: 2 * time.Millisecond, P: 0.4})
+		heal = func() error {
+			fault.Remove(fault.SiteRPCSend, addr)
+			fault.Remove(fault.SiteRPCRecv, addr)
+			return nil
+		}
+	default:
+		return fmt.Errorf("unknown scenario %d", int(s))
+	}
+	if expectPromote {
+		r.report.ExpectedPromotions++
+	}
+
+	r.burst(r.opts.BurstOps)
+
+	// An expected promotion must land on a coordinator majority BEFORE
+	// healing: healing first would let heartbeats resume and the
+	// detector would (correctly) never fire.
+	if expectPromote {
+		if err := r.awaitPromotions(r.report.ExpectedPromotions); err != nil {
+			return err
+		}
+	}
+	if err := heal(); err != nil {
+		return err
+	}
+
+	// Invariant 3: bounded recovery. Fresh id per attempt — a failed
+	// attempt may still have been applied, and set-inclusion only binds
+	// acknowledged ids.
+	attempts, err := r.awaitWrite()
+	r.report.RecoveryAttempts = append(r.report.RecoveryAttempts, attempts)
+	if err != nil {
+		return fmt.Errorf("availability not restored after %d attempts: %w", attempts, err)
+	}
+	r.opts.Log("chaos: %s healed; recovered after %d write attempts", s, attempts)
+	return nil
+}
+
+// awaitPromotions waits until a majority of coordinator replicas have
+// applied exactly want effective promotions for group 0, failing fast
+// if any replica ever exceeds it (two primaries in one epoch).
+func (r *runner) awaitPromotions(want uint64) error {
+	coords := r.c.Coordinators()
+	deadline := time.Now().Add(r.opts.PromoteTimeout)
+	for {
+		reached := 0
+		for _, svc := range coords {
+			got := svc.PromoteCounts()[0]
+			if got > want {
+				return fmt.Errorf("coordinator applied %d promotions for group 0, want %d (single-primary violation)", got, want)
+			}
+			if got == want {
+				reached++
+			}
+		}
+		if reached > len(coords)/2 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			detail := ""
+			for i, svc := range coords {
+				var prim string
+				for _, g := range svc.Directory().Groups() {
+					if g.ID == 0 {
+						prim = fmt.Sprintf("%s+%v", g.Primary, g.Backups)
+					}
+				}
+				detail += fmt.Sprintf(" coord%d{promotes=%v group=%s}", i, svc.PromoteCounts(), prim)
+			}
+			return fmt.Errorf("promotion %d never reached a coordinator majority:%s", want, detail)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// awaitWrite retries appends until one is acknowledged, bounding the
+// attempt count.
+func (r *runner) awaitWrite() (int, error) {
+	var lastErr error
+	for attempt := 1; attempt <= r.opts.MaxRecoveryAttempts; attempt++ {
+		obj := r.objects[r.rng.intn(len(r.objects))]
+		id := r.nextID
+		r.nextID++
+		if _, lastErr = r.client.Invoke(obj, "append", [][]byte{core.I64Bytes(int64(id))}); lastErr == nil {
+			r.report.Acked[obj] = append(r.report.Acked[obj], id)
+			r.report.AckedTotal++
+			return attempt, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return r.opts.MaxRecoveryAttempts, lastErr
+}
+
+// verify checks invariants 1 and 2 after the schedule completes: every
+// acknowledged id is present in the surviving ledgers (read through the
+// current primary AND directly from every live group replica's store),
+// and every coordinator replica converges to exactly the expected
+// number of promotions.
+func (r *runner) verify() error {
+	if err := r.awaitPromotions(r.report.ExpectedPromotions); err != nil {
+		return err
+	}
+	// Convergence: give stragglers a moment, then insist on exactness.
+	deadline := time.Now().Add(r.opts.PromoteTimeout)
+	for {
+		exact := true
+		for _, svc := range r.c.Coordinators() {
+			if got := svc.PromoteCounts()[0]; got != r.report.ExpectedPromotions {
+				if got > r.report.ExpectedPromotions {
+					return fmt.Errorf("coordinator applied %d promotions, want %d (single-primary violation)",
+						got, r.report.ExpectedPromotions)
+				}
+				exact = false
+			}
+		}
+		if exact || time.Now().After(deadline) {
+			break // a lagging minority replica is a liveness gap, not a safety violation
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	g, err := r.c.Group()
+	if err != nil {
+		return err
+	}
+	for _, obj := range r.objects {
+		acked := r.report.Acked[obj]
+		if len(acked) == 0 {
+			continue
+		}
+		// Through the client (routed to the current primary).
+		var raw []byte
+		var lastErr error
+		for attempt := 0; attempt < 40; attempt++ {
+			if raw, lastErr = r.client.Invoke(obj, "list", nil); lastErr == nil {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		if lastErr != nil {
+			return fmt.Errorf("read back object %d: %w", obj, lastErr)
+		}
+		if err := requireAll(acked, DecodeLog(raw), fmt.Sprintf("object %d via primary", obj)); err != nil {
+			return err
+		}
+		// Directly from every live replica's store: strict replication
+		// means an acknowledged write is on every group member.
+		replicas := map[string]bool{g.Primary: true}
+		for _, b := range g.Backups {
+			replicas[b] = true
+		}
+		for i := 0; i < r.c.Nodes(); i++ {
+			if !r.c.Alive(i) || !replicas[r.c.NodeAddr(i)] {
+				continue
+			}
+			v, err := r.c.slots[i].node.Runtime().GetValueField(obj, "log")
+			if err != nil {
+				return fmt.Errorf("object %d missing at replica %s: %w", obj, r.c.NodeAddr(i), err)
+			}
+			if err := requireAll(acked, DecodeLog(v), fmt.Sprintf("object %d at replica %s (group primary=%s backups=%v)", obj, r.c.NodeAddr(i), g.Primary, g.Backups)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// requireAll asserts every acknowledged id appears in the ledger
+// (duplicates and extra unacknowledged ids are legal).
+func requireAll(acked, ledger []uint64, where string) error {
+	present := make(map[uint64]bool, len(ledger))
+	for _, id := range ledger {
+		present[id] = true
+	}
+	for _, id := range acked {
+		if !present[id] {
+			return fmt.Errorf("chaos: %s: acknowledged write %d lost (%d acked, %d in ledger)",
+				where, id, len(acked), len(ledger))
+		}
+	}
+	return nil
+}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
@@ -29,6 +31,13 @@ type Client struct {
 	// maxRetries bounds routing retries after stale-config rejections.
 	maxRetries int
 
+	// retryBase/retryMax shape the capped exponential backoff between
+	// retries; retryBudget bounds one call's total retry time (sleeps
+	// included) so a dead cluster fails the call rather than hanging it.
+	retryBase   time.Duration
+	retryMax    time.Duration
+	retryBudget time.Duration
+
 	// tracing mints a fresh trace ID per invocation; the receiving nodes
 	// decide whether spans are actually recorded.
 	tracing bool
@@ -44,6 +53,17 @@ type ClientConfig struct {
 	RPC *rpc.ClientOptions
 	// MaxRetries bounds routing retries (default 4).
 	MaxRetries int
+	// RetryBaseDelay is the backoff before the first retry (default 5ms);
+	// each subsequent retry doubles it, with ±50% jitter so a fleet of
+	// clients does not stampede a freshly promoted primary in lockstep.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential growth (default 250ms).
+	RetryMaxDelay time.Duration
+	// RetryBudget bounds the total time one call may spend retrying,
+	// backoff sleeps included (default 10s). It acts as the call's
+	// deadline: when it expires the call returns the last error even if
+	// retry attempts remain.
+	RetryBudget time.Duration
 	// Tracing stamps every invocation with a fresh trace ID so nodes with
 	// tracing enabled record its spans.
 	Tracing bool
@@ -52,13 +72,25 @@ type ClientConfig struct {
 // NewClient builds a client.
 func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{
-		pool:       rpc.NewPool(cfg.RPC),
-		dir:        cfg.Directory,
-		maxRetries: cfg.MaxRetries,
-		tracing:    cfg.Tracing,
+		pool:        rpc.NewPool(cfg.RPC),
+		dir:         cfg.Directory,
+		maxRetries:  cfg.MaxRetries,
+		retryBase:   cfg.RetryBaseDelay,
+		retryMax:    cfg.RetryMaxDelay,
+		retryBudget: cfg.RetryBudget,
+		tracing:     cfg.Tracing,
 	}
 	if c.maxRetries <= 0 {
 		c.maxRetries = 4
+	}
+	if c.retryBase <= 0 {
+		c.retryBase = 5 * time.Millisecond
+	}
+	if c.retryMax <= 0 {
+		c.retryMax = 250 * time.Millisecond
+	}
+	if c.retryBudget <= 0 {
+		c.retryBudget = 10 * time.Second
 	}
 	if len(cfg.Coordinators) > 0 {
 		c.coord = coordinator.NewClient(c.pool, cfg.Coordinators)
@@ -106,6 +138,28 @@ func (c *Client) refresh() bool {
 	return true
 }
 
+// backoff sleeps before retry attempt (1-based): exponential from
+// RetryBaseDelay, capped at RetryMaxDelay, with ±50% jitter so
+// concurrent clients decorrelate instead of stampeding a recovering
+// primary in lockstep. The sleep never runs past deadline; it returns
+// false once the deadline has passed, telling the caller to give up.
+func (c *Client) backoff(attempt int, deadline time.Time) bool {
+	rem := time.Until(deadline)
+	if rem <= 0 {
+		return false
+	}
+	d := c.retryBase << uint(attempt-1)
+	if d <= 0 || d > c.retryMax {
+		d = c.retryMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // jitter in [d/2, 3d/2)
+	if d > rem {
+		d = rem
+	}
+	time.Sleep(d)
+	return true
+}
+
 // lookup resolves the group for an object.
 func (c *Client) lookup(id core.ObjectID) (shard.Group, error) {
 	c.dirMu.RLock()
@@ -144,8 +198,12 @@ func (c *Client) InvokeRead(id core.ObjectID, method string, args [][]byte) ([]b
 
 func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method string, args [][]byte, readOnly bool) ([]byte, error) {
 	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args, readOnly: readOnly})
+	deadline := time.Now().Add(c.retryBudget)
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		if attempt > 0 && !c.backoff(attempt, deadline) {
+			break
+		}
 		g, err := c.lookup(id)
 		if err != nil {
 			return nil, err
@@ -172,8 +230,8 @@ func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method stri
 			continue
 		}
 		// Connection-level failure: the node may have died; refresh config
-		// (failover may have promoted a backup) and retry. Read-only
-		// requests also fail over to the next replica naturally via rr.
+		// (failover may have promoted a backup) and retry after backoff.
+		// Read-only requests also fail over to the next replica via rr.
 		if !c.refresh() && !readOnly {
 			return nil, lastErr
 		}
@@ -190,8 +248,12 @@ func (c *Client) InvokeTransaction(calls []core.TxCall) ([][]byte, error) {
 	}
 	ctx := c.rootCtx()
 	body := encodeTxReq(&txReq{calls: calls})
+	deadline := time.Now().Add(c.retryBudget)
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		if attempt > 0 && !c.backoff(attempt, deadline) {
+			break
+		}
 		g, err := c.lookup(calls[0].Object)
 		if err != nil {
 			return nil, err
@@ -214,6 +276,9 @@ func (c *Client) InvokeTransaction(calls []core.TxCall) ([][]byte, error) {
 			c.refresh()
 			continue
 		}
+		// Connection-level failure: same treatment as Invoke — refresh the
+		// configuration (a backup may have been promoted) and retry after
+		// backoff; without a coordinator the view cannot change, so fail.
 		if !c.refresh() {
 			return nil, err
 		}
@@ -224,8 +289,12 @@ func (c *Client) InvokeTransaction(calls []core.TxCall) ([][]byte, error) {
 // CreateObject instantiates an object at its primary.
 func (c *Client) CreateObject(typeName string, id core.ObjectID) error {
 	body := encodeCreateReq(&createReq{object: id, typeName: typeName})
+	deadline := time.Now().Add(c.retryBudget)
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		if attempt > 0 && !c.backoff(attempt, deadline) {
+			break
+		}
 		g, err := c.lookup(id)
 		if err != nil {
 			return err
@@ -249,8 +318,12 @@ func (c *Client) CreateObject(typeName string, id core.ObjectID) error {
 // DeleteObject removes an object and all its state at its primary.
 func (c *Client) DeleteObject(id core.ObjectID) error {
 	body := wire.AppendUvarint(nil, uint64(id))
+	deadline := time.Now().Add(c.retryBudget)
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
+		if attempt > 0 && !c.backoff(attempt, deadline) {
+			break
+		}
 		g, err := c.lookup(id)
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
 	"lambdastore/internal/debug"
+	"lambdastore/internal/fault"
 	"lambdastore/internal/replication"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
@@ -129,16 +130,20 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	rtOpts.Invoker = &routerInvoker{node: n}
 	rtOpts.Metrics = reg
 	rtOpts.Tracer = tracer
-	rtOpts.OnCommit = func(ctx telemetry.SpanContext, obj core.ObjectID, seq uint64, ws *store.Batch) {
+	rtOpts.OnCommit = func(ctx telemetry.SpanContext, obj core.ObjectID, seq uint64, ws *store.Batch) error {
 		// Synchronous primary-backup shipping: the invocation reply is not
-		// released until backups acknowledged (or were reported failed).
+		// released until every backup acknowledged. A failed ship withholds
+		// the ack (paper §4.2.1 — no acknowledged write may be lost to a
+		// failover); the coordinator evicts the dead backup and the client
+		// retries into the reconfigured group.
 		sp := n.tracer.StartSpan(ctx, "replicate")
 		shipCtx := sp.Context()
 		if !shipCtx.Valid() {
 			shipCtx = ctx
 		}
-		err := n.shipper.ShipCtx(shipCtx, uint64(obj), ws) //nolint:errcheck // failures reported via onBackupFailure
+		err := n.shipper.ShipCtx(shipCtx, uint64(obj), ws)
 		sp.FinishErr(err)
+		return err
 	}
 	n.rt, err = core.NewRuntime(db, rtOpts)
 	if err != nil {
@@ -154,14 +159,22 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	}
 	n.addr = addr
 	tracer.SetNode(addr)
+	// Identify this node's outbound connections to the fault plane so link
+	// partitions can name both endpoints.
+	n.pool.SetFaultLabel(addr)
 	n.refreshBackups()
 
 	if opts.DebugAddr != "" {
+		// Mirror fault-plane firings into this node's registry so injected
+		// drops/delays/errors show up as first-class /metrics counters
+		// (fault.injected.<action>) alongside the per-site gauges.
+		fault.SetRegistry(reg)
 		n.debugSrv, err = debug.Start(opts.DebugAddr, debug.Options{
 			Registry: reg,
 			Tracer:   tracer,
 			Gauges:   n.debugGauges,
 			Health:   n.health,
+			Faults:   true,
 		})
 		if err != nil {
 			n.srv.Close()
@@ -172,6 +185,12 @@ func StartNode(opts NodeOptions) (*Node, error) {
 
 	if len(opts.Coordinators) > 0 {
 		n.coord = coordinator.NewClient(n.pool, opts.Coordinators)
+		// Fetch the current configuration synchronously before serving
+		// traffic: a restarting node must learn it was deposed (or that it
+		// still is primary, and of whom) before its first routing decision.
+		if d, err := n.coord.GetConfig(); err == nil {
+			n.SetDirectory(d)
+		}
 		go n.coordLoop()
 	} else {
 		close(n.done)
@@ -234,6 +253,13 @@ func (n *Node) debugGauges() map[string]uint64 {
 	out["core.pool_cold"] = cold
 	out["cluster.forwarded"] = n.forwarded.Load()
 	out["repl.shipped_total"] = n.shipper.Shipped()
+	if fault.Enabled() {
+		// The plane is process-global; every node's /metrics shows the same
+		// injected-fault truth, keyed fault.<site>.<action>.
+		for k, v := range fault.Counters() {
+			out["fault."+k] = v
+		}
+	}
 	return out
 }
 
@@ -293,16 +319,18 @@ func (n *Node) coordLoop() {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
-		select {
-		case <-n.stop:
-			return
-		case <-ticker.C:
-		}
+		// Heartbeat immediately on entry (the failure detector should see
+		// a booting node as soon as it serves), then on every tick.
 		n.coord.Heartbeat(n.addr)
 		if d, err := n.coord.GetConfig(); err == nil {
 			if d.Epoch() > n.dir.Load().Epoch() {
 				n.SetDirectory(d)
 			}
+		}
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
 		}
 	}
 }
@@ -332,7 +360,16 @@ func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
 	d := n.dir.Load()
 	g, err := d.Lookup(uint64(obj))
 	if err != nil {
-		// No configuration: single-node mode executes everything.
+		if len(n.opts.Coordinators) > 0 {
+			// A coordinator-managed node without a configuration cannot
+			// assume it is anyone's primary: a deposed primary restarting
+			// with an empty view would otherwise acknowledge writes without
+			// replicating them (zombie primary). Reject until the first
+			// config refresh; the client refreshes and re-routes.
+			return notResponsibleError("")
+		}
+		// No configuration, static mode: single-node deployments execute
+		// everything.
 		return nil
 	}
 	if g.Primary == n.addr {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"lambdastore/internal/fault"
 	"lambdastore/internal/paxos"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
@@ -25,6 +26,10 @@ const (
 	cmdSetOverride
 	cmdClearOverride
 	cmdNoop
+	// cmdEvictBackup removes a dead backup from a group (GroupID +
+	// FailedPrimary name the victim) so strict primary-backup shipping can
+	// acknowledge writes again without it.
+	cmdEvictBackup
 )
 
 // Command is one replicated configuration change.
@@ -127,6 +132,8 @@ type Service struct {
 	dir      *shard.Directory
 	lastSeen map[string]time.Time
 	applied  uint64
+	promotes map[uint64]uint64 // group -> effective (guard-matched) promotions
+	evicts   map[uint64]uint64 // group -> effective backup evictions
 
 	stop chan struct{}
 	done chan struct{}
@@ -146,6 +153,8 @@ func New(id uint64, peers []uint64, trans paxos.Transport, opts Options) *Servic
 		opts:     opts,
 		dir:      shard.NewDirectory(nil),
 		lastSeen: make(map[string]time.Time),
+		promotes: make(map[uint64]uint64),
+		evicts:   make(map[uint64]uint64),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -192,8 +201,14 @@ func (s *Service) apply(slot uint64, value []byte) {
 		groups := s.dir.Groups()
 		for _, g := range groups {
 			if g.ID == c.GroupID && g.Primary == c.FailedPrimary {
-				s.dir.Promote(c.GroupID, c.NewPrimary)
+				if _, err := s.dir.Promote(c.GroupID, c.NewPrimary); err == nil {
+					s.promotes[c.GroupID]++
+				}
 			}
+		}
+	case cmdEvictBackup:
+		if s.dir.EvictBackup(c.GroupID, c.FailedPrimary) {
+			s.evicts[c.GroupID]++
 		}
 	case cmdSetOverride:
 		s.dir.SetOverride(c.Object, c.TargetGroup)
@@ -249,38 +264,99 @@ func (s *Service) detectLoop() {
 }
 
 // sweep finds groups whose primary has missed heartbeats and promotes the
-// freshest live backup.
+// freshest live backup; it also evicts dead backups so the strict
+// replication path (every write-set acknowledged by every backup before the
+// client ack) regains availability without them.
 func (s *Service) sweep() {
 	s.mu.Lock()
 	now := time.Now()
 	groups := s.dir.Groups()
+	// Group members this replica has never heard from go on probation:
+	// the clock starts at the first sweep that sees them configured, so a
+	// node that dies before its first heartbeat is still declared dead
+	// one timeout later instead of hanging its group forever.
+	for _, g := range groups {
+		for _, member := range g.Replicas() {
+			if _, ok := s.lastSeen[member]; !ok {
+				s.lastSeen[member] = now
+			}
+		}
+	}
 	dead := func(addr string) bool {
 		seen, ok := s.lastSeen[addr]
 		return ok && now.Sub(seen) > s.opts.HeartbeatTimeout
 	}
-	type promotion struct{ c Command }
-	var promotions []promotion
+	var proposals []Command
 	for _, g := range groups {
-		if !dead(g.Primary) {
+		if dead(g.Primary) {
+			for _, b := range g.Backups {
+				if !dead(b) {
+					proposals = append(proposals, Command{
+						Kind:          cmdPromote,
+						GroupID:       g.ID,
+						FailedPrimary: g.Primary,
+						NewPrimary:    b,
+					})
+					break
+				}
+			}
+			// Dead backups of a dead primary are cleaned up after the
+			// promotion lands (next sweep), keeping each step idempotent.
 			continue
 		}
 		for _, b := range g.Backups {
-			if !dead(b) {
-				promotions = append(promotions, promotion{c: Command{
-					Kind:          cmdPromote,
+			if dead(b) {
+				proposals = append(proposals, Command{
+					Kind:          cmdEvictBackup,
 					GroupID:       g.ID,
-					FailedPrimary: g.Primary,
-					NewPrimary:    b,
-				}})
-				break
+					FailedPrimary: b,
+				})
 			}
 		}
 	}
 	s.mu.Unlock()
-	for _, p := range promotions {
+	for i := range proposals {
 		// Best effort: a lost proposal is retried next sweep.
-		_ = s.ProposeCommand(&p.c)
+		_ = s.ProposeCommand(&proposals[i])
 	}
+}
+
+// PromoteCounts returns how many effective (guard-matched) promotions this
+// replica has applied per group — the chaos harness's single-primary probe:
+// one failure must yield exactly one promotion on every replica.
+func (s *Service) PromoteCounts() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64, len(s.promotes))
+	for g, n := range s.promotes {
+		out[g] = n
+	}
+	return out
+}
+
+// LastSeen returns a copy of this replica's liveness table (how long
+// ago each storage node last heartbeated) — observability for the
+// debug surface and the chaos harness.
+func (s *Service) LastSeen() map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	out := make(map[string]time.Duration, len(s.lastSeen))
+	for addr, seen := range s.lastSeen {
+		out[addr] = now.Sub(seen)
+	}
+	return out
+}
+
+// EvictCounts returns effective backup evictions applied per group.
+func (s *Service) EvictCounts() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64, len(s.evicts))
+	for g, n := range s.evicts {
+		out[g] = n
+	}
+	return out
 }
 
 // --- RPC surface ---
@@ -375,6 +451,17 @@ func (c *Client) GetConfig() (*shard.Directory, error) {
 // Heartbeat reports node addr as alive to every reachable replica (each
 // replica runs its own failure detector).
 func (c *Client) Heartbeat(addr string) {
+	if fault.Enabled() {
+		// Targeted heartbeat loss: the node keeps serving but looks dead to
+		// the failure detector (the gray-failure half of a partition).
+		d := fault.Eval(fault.SiteCoordHeartbeat, addr)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Drop || d.Err != nil {
+			return
+		}
+	}
 	body := wire.AppendString(nil, addr)
 	for _, a := range c.addrs {
 		c.pool.Call(a, MethodHeartbeat, body) //nolint:errcheck // best effort

@@ -467,10 +467,11 @@ func TestOnCommitHookObservesWriteSets(t *testing.T) {
 	var mu sync.Mutex
 	var events []string
 	rt, _ := newTestRuntime(t, Options{
-		OnCommit: func(_ telemetry.SpanContext, obj ObjectID, seq uint64, ws *store.Batch) {
+		OnCommit: func(_ telemetry.SpanContext, obj ObjectID, seq uint64, ws *store.Batch) error {
 			mu.Lock()
 			defer mu.Unlock()
 			events = append(events, fmt.Sprintf("%s@%d ops=%d", obj, seq, ws.Len()))
+			return nil
 		},
 	})
 	if err := rt.RegisterType(newCounterType(t)); err != nil {

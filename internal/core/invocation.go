@@ -242,8 +242,7 @@ func (iv *invocation) commitUnder(ctx telemetry.SpanContext) error {
 	if err != nil {
 		return err
 	}
-	iv.rt.notifyCommit(iv.trace, iv.obj, b)
-	return nil
+	return iv.rt.notifyCommit(iv.trace, iv.obj, b)
 }
 
 // commitIntermediate realizes the paper's nested-call rule (§3.1): before a

@@ -27,7 +27,14 @@ type Invoker interface {
 // write-set itself. Primary-backup replication ships these to backups in
 // sequence order, propagating the trace so backup apply spans join the
 // caller's trace.
-type CommitHook func(ctx telemetry.SpanContext, obj ObjectID, seq uint64, writeSet *store.Batch)
+//
+// A non-nil error fails the invocation's acknowledgement: the write-set is
+// already durable locally, but the reply is withheld (paper §4.2.1 — the
+// write-set reaches every backup "before the invocation reply is
+// released", so a failover never loses an acknowledged write). Callers see
+// the error and retry; the state machine tolerates the resulting
+// at-least-once re-execution.
+type CommitHook func(ctx telemetry.SpanContext, obj ObjectID, seq uint64, writeSet *store.Batch) error
 
 // Options configures a Runtime.
 type Options struct {
@@ -266,8 +273,7 @@ func (rt *Runtime) CreateObject(typeName string, id ObjectID) error {
 	if err := rt.db.Write(b); err != nil {
 		return err
 	}
-	rt.notifyCommit(telemetry.SpanContext{}, id, b)
-	return nil
+	return rt.notifyCommit(telemetry.SpanContext{}, id, b)
 }
 
 // DeleteObject removes an object and all its state.
@@ -293,8 +299,7 @@ func (rt *Runtime) DeleteObject(id ObjectID) error {
 	if rt.cache != nil {
 		rt.cache.InvalidateObject(uint64(id))
 	}
-	rt.notifyCommit(telemetry.SpanContext{}, id, b)
-	return nil
+	return rt.notifyCommit(telemetry.SpanContext{}, id, b)
 }
 
 // forEachObjectKey visits every live key of an object.
@@ -517,8 +522,10 @@ func (rt *Runtime) committedHash(key []byte) uint64 {
 }
 
 // notifyCommit invalidates caches and fires the replication hook, passing
-// along the committing request's trace context.
-func (rt *Runtime) notifyCommit(ctx telemetry.SpanContext, id ObjectID, b *store.Batch) {
+// along the committing request's trace context. A hook error (backup did
+// not acknowledge) propagates so the client ack is withheld; the local
+// commit stands.
+func (rt *Runtime) notifyCommit(ctx telemetry.SpanContext, id ObjectID, b *store.Batch) error {
 	rt.statsMu.Lock()
 	rt.commits++
 	rt.statsMu.Unlock()
@@ -529,8 +536,9 @@ func (rt *Runtime) notifyCommit(ctx telemetry.SpanContext, id ObjectID, b *store
 		rt.cache.InvalidateObject(uint64(id))
 	}
 	if rt.opts.OnCommit != nil {
-		rt.opts.OnCommit(ctx, id, b.Seq(), b)
+		return rt.opts.OnCommit(ctx, id, b.Seq(), b)
 	}
+	return nil
 }
 
 // Stats returns cumulative invocation and commit counts.

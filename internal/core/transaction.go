@@ -178,7 +178,11 @@ func (rt *Runtime) invokeTransactionCtx(calls []TxCall, cc CallCtx) ([][]byte, e
 				rt.cache.InvalidateObject(uint64(id))
 			}
 			if first && rt.opts.OnCommit != nil {
-				rt.opts.OnCommit(cc.Trace, id, b.Seq(), b)
+				// A replication failure withholds the transaction's ack the
+				// same way it withholds a single invocation's.
+				if err := rt.opts.OnCommit(cc.Trace, id, b.Seq(), b); err != nil {
+					return nil, err
+				}
 			}
 			first = false
 		}

@@ -1,16 +1,21 @@
 // Package debug serves a node's observability surface over HTTP: /metrics
 // (plain-text counters, gauges and histogram summaries), /traces (recorded
 // spans as JSON, filterable by trace ID and minimum duration), /healthz,
-// and the standard net/http/pprof profiling endpoints.
+// the standard net/http/pprof profiling endpoints, and — when enabled —
+// /faults, the runtime control surface for the deterministic
+// fault-injection plane (internal/fault).
 //
-// The server is strictly opt-in (NodeOptions.DebugAddr / the -debug flag)
-// and read-only: it exposes state, never mutates it. It binds its own mux,
+// The server is strictly opt-in (NodeOptions.DebugAddr / the -debug flag).
+// Every endpoint except /faults is read-only: it exposes state, never
+// mutates it. /faults POST arms and disarms injection rules, which is why
+// it additionally requires Options.Faults. The server binds its own mux,
 // so nothing leaks onto http.DefaultServeMux.
 package debug
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -19,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"lambdastore/internal/fault"
 	"lambdastore/internal/telemetry"
 )
 
@@ -33,6 +39,12 @@ type Options struct {
 	Gauges func() map[string]uint64
 	// Health, if set, backs /healthz; a non-nil error reports 503.
 	Health func() error
+	// Faults exposes the process fault-injection plane at /faults: GET
+	// renders the armed rules as a command script (re-POSTable as-is),
+	// POST applies a script in the internal/fault grammar. The plane is
+	// process-global, so on a node with Faults enabled this endpoint is
+	// the live-cluster counterpart of the chaos harness.
+	Faults bool
 }
 
 // Server is a running debug HTTP endpoint.
@@ -60,6 +72,9 @@ func Start(addr string, o Options) (*Server, error) {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	if o.Faults {
+		mux.HandleFunc("/faults", serveFaults)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -110,6 +125,30 @@ func serveMetrics(w http.ResponseWriter, o Options) {
 		}
 	}
 	w.Write([]byte(b.String()))
+}
+
+// serveFaults is the fault plane's HTTP surface: GET describes, POST
+// applies. Errors echo the offending grammar line so a mistyped rule in a
+// curl one-liner is diagnosable from the 400 body alone.
+func serveFaults(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet, "":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, fault.Describe())
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := fault.ApplyAll(string(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
 }
 
 // tracesResponse is the /traces JSON envelope.

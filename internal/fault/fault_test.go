@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisabledPlaneIsFree pins the acceptance bar: a disarmed plane costs
+// no allocation at an injection site.
+func TestDisabledPlaneIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("plane armed after Reset")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if d := Eval(SiteRPCSend, "127.0.0.1:1"); d.Drop || d.Err != nil {
+			t.Fatal("disarmed plane fired")
+		}
+		if Partitioned("a", "b") {
+			t.Fatal("disarmed plane partitioned")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled plane allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestRuleFiresAndCounts(t *testing.T) {
+	Reset()
+	defer Reset()
+	Add(Rule{Site: SiteWALSync, Key: "dir1", Action: Error, Err: "disk gone", Count: 2})
+
+	if d := Eval(SiteWALSync, "other"); d.Err != nil {
+		t.Fatal("key-scoped rule fired for wrong key")
+	}
+	for i := 0; i < 2; i++ {
+		d := Eval(SiteWALSync, "dir1")
+		if !errors.Is(d.Err, ErrInjected) {
+			t.Fatalf("firing %d: err = %v", i, d.Err)
+		}
+		if !strings.Contains(d.Err.Error(), "disk gone") {
+			t.Fatalf("err text lost: %v", d.Err)
+		}
+	}
+	if d := Eval(SiteWALSync, "dir1"); d.Err != nil {
+		t.Fatal("rule fired beyond its count cap")
+	}
+	if got := Counters()["wal.sync.error"]; got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+}
+
+// TestSeededDeterminism checks that a probabilistic rule replays the same
+// firing sequence for the same seed and diverges for another.
+func TestSeededDeterminism(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func(seed uint64) []bool {
+		Clear()
+		SetSeed(seed)
+		Add(Rule{Site: SiteRPCSend, Action: Drop, P: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Eval(SiteRPCSend, "x").Drop
+		}
+		return out
+	}
+	a1, a2, b := run(7), run(7), run(8)
+	if len(a1) != len(a2) {
+		t.Fatal("length mismatch")
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("seed 7 diverged at draw %d", i)
+		}
+		if a1[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical streams")
+	}
+	fired := 0
+	for _, f := range a1 {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a1) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a1))
+	}
+}
+
+func TestPartitionMatrix(t *testing.T) {
+	Reset()
+	defer Reset()
+	Partition("a", "b")
+	if !Partitioned("a", "b") || !Partitioned("b", "a") {
+		t.Fatal("partition is not symmetric")
+	}
+	if Partitioned("a", "c") {
+		t.Fatal("unrelated pair partitioned")
+	}
+	Partition("c", Wildcard)
+	if !Partitioned("c", "z") || !Partitioned("z", "c") || !Partitioned("", "c") {
+		t.Fatal("wildcard partition did not isolate c")
+	}
+	Heal("a", "b")
+	if Partitioned("a", "b") {
+		t.Fatal("healed pair still partitioned")
+	}
+	HealAll()
+	if Partitioned("c", "z") {
+		t.Fatal("HealAll left a partition")
+	}
+	if Enabled() {
+		t.Fatal("plane armed with no rules or partitions")
+	}
+}
+
+func TestDelayAndMerge(t *testing.T) {
+	Reset()
+	defer Reset()
+	Add(Rule{Site: SiteRPCRecv, Action: Delay, Delay: 3 * time.Millisecond})
+	Add(Rule{Site: SiteRPCRecv, Action: Drop})
+	d := Eval(SiteRPCRecv, "n")
+	if d.Delay != 3*time.Millisecond || !d.Drop {
+		t.Fatalf("merged decision = %+v", d)
+	}
+}
+
+func TestGrammarRoundTrip(t *testing.T) {
+	Reset()
+	defer Reset()
+	script := `
+# a comment
+seed 42
+rule rpc.send@127.0.0.1:9 drop p=0.25 count=10
+rule wal.sync error:enospc
+rule rpc.recv delay:5ms
+partition 127.0.0.1:9 *
+`
+	if err := ApplyAll(script); err != nil {
+		t.Fatal(err)
+	}
+	if Seed() != 42 {
+		t.Fatalf("seed = %d", Seed())
+	}
+	rules := Rules()
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	if rules[0].P != 0.25 || rules[0].Count != 10 || rules[0].Key != "127.0.0.1:9" {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[2].Delay != 5*time.Millisecond {
+		t.Fatalf("rule 2 = %+v", rules[2])
+	}
+	// Describe output must re-apply cleanly onto a fresh plane.
+	desc := Describe()
+	Reset()
+	if err := ApplyAll(desc); err != nil {
+		t.Fatalf("describe output not re-appliable: %v\n%s", err, desc)
+	}
+	if len(Rules()) != 3 || len(Partitions()) != 1 {
+		t.Fatalf("round trip lost state: %d rules %d partitions", len(Rules()), len(Partitions()))
+	}
+	if err := Apply("rule rpc.send explode"); err == nil {
+		t.Fatal("bad action accepted")
+	}
+	if err := Apply("bogus"); err == nil {
+		t.Fatal("bad command accepted")
+	}
+	Reset()
+}
+
+// BenchmarkDisabledSite must report 0 allocs/op: the per-site cost of an
+// idle plane on every RPC and WAL sync.
+func BenchmarkDisabledSite(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			_ = Eval(SiteRPCSend, "127.0.0.1:1")
+		}
+	}
+}
+
+// BenchmarkArmedOtherSite measures the cost when the plane is armed but the
+// rule targets a different site (the common case during an experiment).
+func BenchmarkArmedOtherSite(b *testing.B) {
+	Reset()
+	Add(Rule{Site: SiteWALSync, Action: Delay, Delay: time.Millisecond})
+	defer Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			_ = Eval(SiteRPCSend, "127.0.0.1:1")
+		}
+	}
+}

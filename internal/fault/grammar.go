@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The fault-plane command grammar, one command per line. It is what the
+// /faults debug endpoint accepts over POST and what `lambdactl fault`
+// speaks; blank lines and #-comments are ignored.
+//
+//	seed <n>                        reseed the plane (decimal or 0x hex)
+//	rule <site>[@<key>] <action>[:<arg>] [p=<prob>] [count=<n>]
+//	partition <a> <b>               sever a link (b may be *)
+//	heal <a> <b>                    restore a link
+//	heal *                          restore every link
+//	remove <site>[@<key>]           disarm rules at a site
+//	clear                           disarm everything, heal everything
+//	reset                           clear + zero the firing counters
+//
+// Actions: drop | delay:<duration> | error[:<msg>] | dup | crash.
+// Example: rule rpc.send@127.0.0.1:7001 drop p=0.3 count=10
+
+// ParseRule parses "<site>[@<key>] <action>[:<arg>] [p=..] [count=..]".
+func ParseRule(s string) (Rule, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return Rule{}, fmt.Errorf("fault: rule needs \"<site>[@key] <action>\": %q", s)
+	}
+	var r Rule
+	r.Site = fields[0]
+	if at := strings.IndexByte(r.Site, '@'); at >= 0 {
+		r.Site, r.Key = r.Site[:at], r.Site[at+1:]
+	}
+	act := fields[1]
+	arg := ""
+	if c := strings.IndexByte(act, ':'); c >= 0 {
+		act, arg = act[:c], act[c+1:]
+	}
+	switch act {
+	case "drop":
+		r.Action = Drop
+	case "dup", "duplicate":
+		r.Action = Duplicate
+	case "crash", "crash-conn":
+		r.Action = CrashConn
+	case "error":
+		r.Action = Error
+		r.Err = arg
+	case "delay":
+		r.Action = Delay
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault: delay needs a duration (delay:5ms): %v", err)
+		}
+		r.Delay = d
+	default:
+		return Rule{}, fmt.Errorf("fault: unknown action %q (drop|delay|error|dup|crash)", act)
+	}
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "p="):
+			p, err := strconv.ParseFloat(f[2:], 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Rule{}, fmt.Errorf("fault: p must be in (0,1]: %q", f)
+			}
+			r.P = p
+		case strings.HasPrefix(f, "count="):
+			n, err := strconv.ParseUint(f[6:], 10, 64)
+			if err != nil {
+				return Rule{}, fmt.Errorf("fault: bad count: %q", f)
+			}
+			r.Count = n
+		default:
+			return Rule{}, fmt.Errorf("fault: unknown rule option %q", f)
+		}
+	}
+	return r, nil
+}
+
+// Apply executes one grammar command against the process plane.
+func Apply(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	fields := strings.Fields(line)
+	cmd, rest := fields[0], fields[1:]
+	switch cmd {
+	case "seed":
+		if len(rest) != 1 {
+			return fmt.Errorf("fault: seed needs one value")
+		}
+		s := strings.TrimPrefix(rest[0], "0x")
+		base := 10
+		if s != rest[0] {
+			base = 16
+		}
+		n, err := strconv.ParseUint(s, base, 64)
+		if err != nil {
+			return fmt.Errorf("fault: bad seed %q: %v", rest[0], err)
+		}
+		SetSeed(n)
+	case "rule":
+		r, err := ParseRule(strings.Join(rest, " "))
+		if err != nil {
+			return err
+		}
+		Add(r)
+	case "partition":
+		if len(rest) != 2 {
+			return fmt.Errorf("fault: partition needs two endpoints")
+		}
+		Partition(rest[0], rest[1])
+	case "heal":
+		switch len(rest) {
+		case 1:
+			if rest[0] != Wildcard {
+				return fmt.Errorf("fault: heal needs two endpoints or *")
+			}
+			HealAll()
+		case 2:
+			Heal(rest[0], rest[1])
+		default:
+			return fmt.Errorf("fault: heal needs two endpoints or *")
+		}
+	case "remove":
+		if len(rest) != 1 {
+			return fmt.Errorf("fault: remove needs <site>[@key]")
+		}
+		site, key := rest[0], ""
+		if at := strings.IndexByte(site, '@'); at >= 0 {
+			site, key = site[:at], site[at+1:]
+		}
+		Remove(site, key)
+	case "clear":
+		Clear()
+	case "reset":
+		Reset()
+	default:
+		return fmt.Errorf("fault: unknown command %q", cmd)
+	}
+	return nil
+}
+
+// ApplyAll executes a newline-separated command script, stopping at the
+// first error.
+func ApplyAll(script string) error {
+	for _, line := range strings.Split(script, "\n") {
+		if err := Apply(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Describe renders the plane's state as a command script (plus counter
+// comments): GET /faults output, re-POSTable as-is.
+func Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", Seed())
+	for _, r := range Rules() {
+		fmt.Fprintf(&b, "rule %s\n", r)
+	}
+	for _, p := range Partitions() {
+		fmt.Fprintf(&b, "partition %s %s\n", p[0], p[1])
+	}
+	counters := Counters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "# fired %s %d\n", n, counters[n])
+	}
+	return b.String()
+}

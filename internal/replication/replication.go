@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"lambdastore/internal/fault"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/store"
 	"lambdastore/internal/telemetry"
@@ -152,6 +153,23 @@ func (s *Shipper) ShipCtx(ctx telemetry.SpanContext, object uint64, b *store.Bat
 	results := make(chan result, len(backups))
 	for _, addr := range backups {
 		go func(addr string) {
+			if fault.Enabled() {
+				d := fault.Eval(fault.SiteReplShip, addr)
+				if d.Delay > 0 {
+					time.Sleep(d.Delay)
+				}
+				if d.Err != nil {
+					results <- result{addr: addr, err: d.Err}
+					return
+				}
+				if d.Drop {
+					// Silently lost write-set: the backup diverges while the
+					// primary believes it shipped. This is the divergence
+					// probe — only chaos experiments arm it.
+					results <- result{addr: addr, err: nil}
+					return
+				}
+			}
 			_, err := s.pool.CallCtx(addr, ctx, MethodApply, body)
 			results <- result{addr: addr, err: err}
 		}(addr)

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lambdastore/internal/fault"
 	"lambdastore/internal/telemetry"
 	"lambdastore/internal/wire"
 )
@@ -160,6 +161,10 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	metrics *serverMetrics
+
+	// faultLabel identifies this server to the fault plane (rpc.recv key);
+	// Serve sets it to the bound address.
+	faultLabel atomic.Pointer[string]
 }
 
 // NewServer returns a server with no handlers.
@@ -215,6 +220,9 @@ func (s *Server) Serve(addr string) (string, error) {
 	s.ln = ln
 	s.mu.Unlock()
 
+	label := ln.Addr().String()
+	s.faultLabel.Store(&label)
+
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -266,6 +274,31 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if msg.kind != msgRequest {
 			continue
+		}
+		if fault.Enabled() {
+			label := ""
+			if l := s.faultLabel.Load(); l != nil {
+				label = *l
+			}
+			d := fault.Eval(fault.SiteRPCRecv, label)
+			if d.CrashConn {
+				return // deferred cleanup closes the connection
+			}
+			if d.Drop {
+				continue // the request vanishes; the caller times out
+			}
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			if d.Err != nil {
+				writeMu.Lock()
+				werr := writeFrame(conn, &message{kind: msgResponse, id: msg.id, errStr: d.Err.Error()})
+				writeMu.Unlock()
+				if werr != nil {
+					conn.Close()
+				}
+				continue
+			}
 		}
 		s.mu.RLock()
 		h := s.handlers[msg.method]
@@ -381,6 +414,8 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 // use; a failed connection fails all in-flight calls.
 type Client struct {
 	opts ClientOptions
+	peer string // remote address (fault-plane key for rpc.send)
+	from string // owner's fault label (partition-matrix endpoint)
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -394,7 +429,25 @@ type Client struct {
 
 // Dial connects to addr.
 func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	return dialFrom(addr, opts, "")
+}
+
+// dialFrom is Dial labelled with the caller's fault-plane identity (pools
+// propagate their owner's label so link partitions can name both ends).
+func dialFrom(addr string, opts *ClientOptions, from string) (*Client, error) {
 	o := opts.sanitize()
+	if fault.Enabled() {
+		if fault.Partitioned(from, addr) {
+			return nil, fmt.Errorf("rpc: dial %s: %w", addr, fault.ErrPartitioned)
+		}
+		d := fault.Eval(fault.SiteRPCDial, addr)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Err != nil {
+			return nil, fmt.Errorf("rpc: dial %s: %w", addr, d.Err)
+		}
+	}
 	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
@@ -404,8 +457,10 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 	}
 	c := &Client{
 		opts:    o,
-		conn:    conn,
+		peer:    addr,
+		from:    from,
 		pending: make(map[uint64]chan *message),
+		conn:    conn,
 	}
 	go c.readLoop()
 	return c, nil
@@ -473,6 +528,24 @@ func (c *Client) call(ctx telemetry.SpanContext, method string, body []byte) ([]
 	if c.opts.Delay > 0 {
 		time.Sleep(c.opts.Delay)
 	}
+	var drop, dup bool
+	if fault.Enabled() {
+		if fault.Partitioned(c.from, c.peer) {
+			return nil, fmt.Errorf("rpc: send %s: %w", c.peer, fault.ErrPartitioned)
+		}
+		d := fault.Eval(fault.SiteRPCSend, c.peer)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Err != nil {
+			return nil, fmt.Errorf("rpc: send %s: %w", c.peer, d.Err)
+		}
+		if d.CrashConn {
+			c.failAll(ErrClosed)
+			return nil, ErrClosed
+		}
+		drop, dup = d.Drop, d.Duplicate
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -485,14 +558,21 @@ func (c *Client) call(ctx telemetry.SpanContext, method string, body []byte) ([]
 	c.mu.Unlock()
 
 	req := &message{kind: msgRequest, id: id, trace: ctx.Trace, parent: ctx.Span, method: method, body: body}
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, req)
-	c.writeMu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: send: %w", err)
+	if !drop {
+		c.writeMu.Lock()
+		err := writeFrame(c.conn, req)
+		if err == nil && dup {
+			// Injected duplicate: the server dispatches the request twice;
+			// the response matcher drops the second reply.
+			err = writeFrame(c.conn, req)
+		}
+		c.writeMu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return nil, fmt.Errorf("rpc: send: %w", err)
+		}
 	}
 
 	timer := time.NewTimer(c.opts.Timeout)
@@ -538,6 +618,7 @@ type Pool struct {
 	mu      sync.Mutex
 	clients map[string]*Client
 	metrics *clientMetrics
+	label   string // fault-plane identity of the pool's owner
 }
 
 // NewPool returns an empty pool using opts for every connection.
@@ -557,10 +638,20 @@ func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
 	p.mu.Unlock()
 }
 
+// SetFaultLabel names the pool's owner (usually its node's RPC address) to
+// the fault plane, so link partitions can match this end of the pool's
+// connections. Call before traffic; existing connections keep their label.
+func (p *Pool) SetFaultLabel(label string) {
+	p.mu.Lock()
+	p.label = label
+	p.mu.Unlock()
+}
+
 // Get returns a live client for addr, dialing if needed.
 func (p *Pool) Get(addr string) (*Client, error) {
 	p.mu.Lock()
 	c, ok := p.clients[addr]
+	label := p.label
 	if ok && !c.Closed() {
 		p.mu.Unlock()
 		return c, nil
@@ -568,7 +659,7 @@ func (p *Pool) Get(addr string) (*Client, error) {
 	delete(p.clients, addr)
 	p.mu.Unlock()
 
-	nc, err := Dial(addr, &p.opts)
+	nc, err := dialFrom(addr, &p.opts, label)
 	if err != nil {
 		return nil, err
 	}

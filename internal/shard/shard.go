@@ -173,6 +173,29 @@ func (d *Directory) Promote(gid uint64, newPrimary string) (Group, error) {
 	return Group{}, fmt.Errorf("shard: no group %d", gid)
 }
 
+// EvictBackup removes addr from group gid's backup set (dead-backup
+// cleanup), bumping the epoch. It reports whether the backup was present —
+// absent is a no-op, keeping duplicate eviction proposals idempotent.
+func (d *Directory) EvictBackup(gid uint64, addr string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.groups {
+		g := &d.groups[i]
+		if g.ID != gid {
+			continue
+		}
+		for j, b := range g.Backups {
+			if b == addr {
+				g.Backups = append(g.Backups[:j], g.Backups[j+1:]...)
+				d.epoch++
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
 // Snapshot serializes the directory (coordinator -> node/client transfer).
 func (d *Directory) Snapshot() []byte {
 	d.mu.RLock()

@@ -138,7 +138,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 	// Start a fresh WAL for the recovered memtable contents plus new writes.
 	db.walNum = db.nextFile
 	db.nextFile++
-	db.wal, err = newWALWriter(walPath(dir, db.walNum))
+	db.wal, err = newWALWriter(walPath(dir, db.walNum), dir)
 	if err != nil {
 		lock.Close()
 		return nil, err
@@ -318,7 +318,7 @@ func (db *DB) makeRoomForWrite() error {
 			// Freeze the memtable and start a new WAL.
 			newNum := db.nextFile
 			db.nextFile++
-			wal, err := newWALWriter(walPath(db.dir, newNum))
+			wal, err := newWALWriter(walPath(db.dir, newNum), db.dir)
 			if err != nil {
 				return err
 			}
@@ -624,7 +624,7 @@ func (db *DB) Flush() error {
 		}
 		newNum := db.nextFile
 		db.nextFile++
-		wal, err := newWALWriter(walPath(db.dir, newNum))
+		wal, err := newWALWriter(walPath(db.dir, newNum), db.dir)
 		if err != nil {
 			db.mu.Unlock()
 			return err

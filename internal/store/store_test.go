@@ -851,7 +851,7 @@ func TestMemtableOrderQuick(t *testing.T) {
 func TestWALRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/test.log"
-	w, err := newWALWriter(path)
+	w, err := newWALWriter(path, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"lambdastore/internal/fault"
 	"lambdastore/internal/wire"
 )
 
@@ -17,15 +19,19 @@ type walWriter struct {
 	f   *os.File
 	w   *bufio.Writer
 	buf []byte
+	// faultKey identifies this log to the fault plane (the database
+	// directory), so chaos schedules can fail one node's fsyncs.
+	faultKey string
 }
 
-// newWALWriter creates (or truncates) the log file at path.
-func newWALWriter(path string) (*walWriter, error) {
+// newWALWriter creates (or truncates) the log file at path. faultKey is the
+// owning database's fault-plane identity.
+func newWALWriter(path, faultKey string) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: create wal: %w", err)
 	}
-	return &walWriter{f: f, w: bufio.NewWriterSize(f, 64<<10)}, nil
+	return &walWriter{f: f, w: bufio.NewWriterSize(f, 64<<10), faultKey: faultKey}, nil
 }
 
 // append writes one record. If sync is true the record is fsynced before
@@ -39,6 +45,18 @@ func (w *walWriter) append(record []byte, sync bool) error {
 		return fmt.Errorf("store: wal flush: %w", err)
 	}
 	if sync {
+		if fault.Enabled() {
+			// An injected sync failure models a failed fsync: the record
+			// reached the OS (Flush above) but durability is not promised,
+			// exactly the torn-tail shape replayWAL tolerates.
+			d := fault.Eval(fault.SiteWALSync, w.faultKey)
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			if d.Err != nil {
+				return fmt.Errorf("store: wal sync: %w", d.Err)
+			}
+		}
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("store: wal sync: %w", err)
 		}
