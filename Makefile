@@ -5,12 +5,13 @@
 #   make race    race-detector pass over the concurrency-heavy packages
 #   make chaos   seeded failover chaos suite under the race detector
 #   make bench   telemetry hot-path benchmarks (must report 0 allocs/op)
+#   make bench-write  write-path batched-vs-unbatched comparison (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench vet check clean
+.PHONY: all build test race chaos bench bench-write vet check clean
 
 all: build
 
@@ -33,6 +34,12 @@ chaos:
 
 bench:
 	$(GO) test -run Telemetry -bench . -benchmem ./internal/telemetry/
+
+# Write-path throughput: WAL group commit + ship coalescing + RPC write
+# coalescing on vs off, Retwis Post with fsync per commit. Emits the perf
+# trajectory artifact later PRs compare against.
+bench-write:
+	$(GO) run ./cmd/lambda-bench -write-path -accounts 512 -concurrency 32 -ops 3000 -out results/BENCH_write_path.json
 
 vet:
 	@fmt_out=$$(gofmt -l .); \

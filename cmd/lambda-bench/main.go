@@ -7,6 +7,7 @@
 //	lambda-bench -ablation fuel           A3: metering overhead
 //	lambda-bench -ablation sched          A4: per-object scheduling
 //	lambda-bench -ablation netdelay       A5: network-delay sweep
+//	lambda-bench -write-path              batched vs unbatched write pipeline
 //	lambda-bench -all                     everything
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"lambdastore/internal/bench"
@@ -29,8 +31,23 @@ func main() {
 		ablation    = flag.String("ablation", "", "run one ablation: cache|replication|fuel|sched|netdelay")
 		all         = flag.Bool("all", false, "run everything")
 		dataRoot    = flag.String("data", "", "scratch directory root")
+		writePath   = flag.Bool("write-path", false, "run the batched-vs-unbatched write-path benchmark (fsync per commit)")
+		out         = flag.String("out", "", "write the write-path report JSON to this path")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("lambda-bench: cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("lambda-bench: cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := bench.DefaultOptions()
 	opts.Accounts = *accounts
@@ -96,6 +113,13 @@ func main() {
 		fmt.Println()
 	}
 
+	if *writePath {
+		ran = true
+		if _, err := bench.RunWritePath(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: write-path: %v", err)
+		}
+		fmt.Println()
+	}
 	if *ablation != "" {
 		runAblation(*ablation)
 	}

@@ -179,6 +179,7 @@ func (n *StorageNode) SetBackups(addrs []string) { n.shipper.SetBackups(addrs) }
 // Close shuts the node down.
 func (n *StorageNode) Close() error {
 	n.srv.Close()
+	n.shipper.Close()
 	n.pool.Close()
 	return n.db.Close()
 }

@@ -17,6 +17,7 @@ import (
 	"lambdastore/internal/retwis"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
+	"lambdastore/internal/store"
 	"lambdastore/internal/workload"
 )
 
@@ -33,7 +34,14 @@ type Options struct {
 	DataRoot       string // parent directory for node data (temp if empty)
 	DisableSched   bool   // ablation A4
 	ColdPerInvoke  bool   // disaggregated cold-start emulation (Table 1)
-	Verbose        bool
+	// SyncWrites fsyncs the WAL on every commit (the write-path benchmark's
+	// durability-honest configuration).
+	SyncWrites bool
+	// DisableBatching turns off the whole batched write pipeline — WAL
+	// group commit, replication ship coalescing, and RPC write coalescing —
+	// for the batched-vs-unbatched ablation.
+	DisableBatching bool
+	Verbose         bool
 }
 
 // DefaultOptions returns a laptop-scale configuration.
@@ -56,9 +64,23 @@ func (o *Options) tempDir(name string) (string, error) {
 	return os.MkdirTemp(root, "lambdastore-"+name+"-*")
 }
 
+// groupCommitWait returns the store's leader linger for this run: 2ms when
+// the batched pipeline is on (the fsync amortization window), zero for the
+// unbatched ablation.
+func (o *Options) groupCommitWait() time.Duration {
+	if o.DisableBatching {
+		return 0
+	}
+	return 2 * time.Millisecond
+}
+
 // clientOpts builds the RPC options with injected network delay.
 func (o *Options) clientOpts() *rpc.ClientOptions {
-	return &rpc.ClientOptions{Delay: o.NetDelay, Timeout: 120 * time.Second}
+	return &rpc.ClientOptions{
+		Delay:                  o.NetDelay,
+		Timeout:                120 * time.Second,
+		DisableWriteCoalescing: o.DisableBatching,
+	}
 }
 
 // Deployment is one bootable architecture under test.
@@ -67,6 +89,10 @@ type Deployment struct {
 	Invoker workload.Invoker
 	// Create instantiates an object of the Retwis User type.
 	Create func(id uint64) error
+	// Nodes exposes the aggregated deployment's cluster nodes (nil for the
+	// disaggregated baseline); the write-path benchmark reads commit/fsync
+	// counters from their registries.
+	Nodes []*cluster.Node
 
 	closers []func()
 	cleanup []string
@@ -110,13 +136,20 @@ func StartAggregated(opts Options) (*Deployment, error) {
 			Addr:    "127.0.0.1:0",
 			DataDir: dataDir,
 			GroupID: 0,
+			Store: &store.Options{
+				SyncWrites:         opts.SyncWrites,
+				DisableGroupCommit: opts.DisableBatching,
+				GroupCommitWait:    opts.groupCommitWait(),
+			},
 			Runtime: core.Options{
 				Fuel:             opts.Fuel,
 				CacheEntries:     opts.CacheEntries,
 				DisableScheduler: opts.DisableSched,
 			},
-			Directory:     dir,
-			ClientOptions: opts.clientOpts(),
+			Directory:             dir,
+			ClientOptions:         opts.clientOpts(),
+			DisableShipCoalescing: opts.DisableBatching,
+			DisableRPCCoalescing:  opts.DisableBatching,
 		})
 		if err != nil {
 			d.Close()
@@ -125,6 +158,7 @@ func StartAggregated(opts Options) (*Deployment, error) {
 		d.closers = append(d.closers, func() { node.Close() })
 		nodes = append(nodes, node)
 	}
+	d.Nodes = nodes
 	g := shard.Group{ID: 0, Primary: nodes[0].Addr()}
 	for _, b := range nodes[1:] {
 		g.Backups = append(g.Backups, b.Addr())

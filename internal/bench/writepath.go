@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lambdastore/internal/workload"
+)
+
+// WritePathConfig is one measured configuration of the write-path
+// benchmark: the workload result plus the storage-layer commit/fsync
+// counters that prove (or disprove) group commit amortization.
+type WritePathConfig struct {
+	Config     string  `json:"config"`
+	Ops        uint64  `json:"ops"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	P50Micros  int64   `json:"p50_us"`
+	P99Micros  int64   `json:"p99_us"`
+	Errors     uint64  `json:"errors"`
+	// Commits and WALSyncs are summed across all nodes in the group; with
+	// batching on and concurrent writers, WALSyncs < Commits.
+	Commits  uint64 `json:"store_commits"`
+	WALSyncs uint64 `json:"store_wal_syncs"`
+	// GroupSizeMean is the mean WAL write-group member count across nodes;
+	// ShipBatchMean is the mean member count of shipped replication frames.
+	// Both are 1.0 (or 0 when unused) in the unbatched configuration.
+	GroupSizeMean float64 `json:"wal_group_size_mean"`
+	ShipBatchMean float64 `json:"repl_batch_size_mean"`
+}
+
+// WritePathReport is the results/BENCH_write_path.json document.
+type WritePathReport struct {
+	GeneratedBy string            `json:"generated_by"`
+	Workload    string            `json:"workload"`
+	Accounts    int               `json:"accounts"`
+	Concurrency int               `json:"concurrency"`
+	Ops         int               `json:"ops"`
+	Replicas    int               `json:"replicas"`
+	SyncWrites  bool              `json:"sync_writes"`
+	Batched     WritePathConfig   `json:"batched"`
+	Unbatched   WritePathConfig   `json:"unbatched"`
+	Speedup     float64           `json:"speedup"`
+	Results     []WritePathConfig `json:"results"`
+}
+
+// runWritePathConfig boots one aggregated deployment, drives the Retwis
+// Post workload (ledger-style appends: every op commits and ships a
+// write-set), and collects throughput plus the storage counters.
+func runWritePathConfig(opts Options, name string) (WritePathConfig, error) {
+	out := WritePathConfig{Config: name}
+	d, err := StartAggregated(opts)
+	if err != nil {
+		return out, err
+	}
+	defer d.Close()
+	cfg := workload.DefaultConfig(opts.Accounts)
+	if err := workload.Populate(cfg, d.Create, d.Invoker); err != nil {
+		return out, err
+	}
+
+	// Snapshot the counters after populate so only the measured run counts.
+	baseCommits, baseSyncs := writePathCounters(d)
+	res, err := workload.RunClosedLoop(cfg, workload.Post, d.Invoker, opts.Concurrency, opts.OpsPerWorkload)
+	if err != nil {
+		return out, err
+	}
+	commits, syncs := writePathCounters(d)
+
+	out.Ops = res.Ops
+	out.Throughput = res.Throughput
+	out.P50Micros = res.Latency.Median.Microseconds()
+	out.P99Micros = res.Latency.P99.Microseconds()
+	out.Errors = res.Errors
+	out.Commits = commits - baseCommits
+	out.WALSyncs = syncs - baseSyncs
+	out.GroupSizeMean = histMean(d, "wal.group_size")
+	out.ShipBatchMean = histMean(d, "repl.batch_size")
+	return out, nil
+}
+
+// writePathCounters sums batch commits and WAL fsyncs across the group.
+func writePathCounters(d *Deployment) (commits, syncs uint64) {
+	for _, n := range d.Nodes {
+		reg := n.Metrics()
+		commits += reg.Counter("store.writes").Value()
+		syncs += reg.Counter("store.wal_syncs").Value()
+	}
+	return commits, syncs
+}
+
+// histMean aggregates a count-valued histogram (1µs == 1 member) across
+// the group and returns its mean member count.
+func histMean(d *Deployment, name string) float64 {
+	var count uint64
+	var total float64
+	for _, n := range d.Nodes {
+		s := n.Metrics().Histogram(name).Snapshot()
+		count += uint64(s.Count)
+		total += float64(s.Mean.Nanoseconds()) / 1e3 * float64(s.Count)
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// RunWritePath measures the batched write pipeline against the unbatched
+// ablation on the mutating Retwis Post workload with fsync-per-commit
+// durability, and renders/stores the comparison. An empty outPath skips the
+// JSON artifact.
+func RunWritePath(opts Options, outPath string, w io.Writer) (*WritePathReport, error) {
+	opts.SyncWrites = true
+
+	rep := &WritePathReport{
+		GeneratedBy: "make bench-write",
+		Workload:    workload.Post,
+		Accounts:    opts.Accounts,
+		Concurrency: opts.Concurrency,
+		Ops:         opts.OpsPerWorkload,
+		Replicas:    opts.Replicas,
+		SyncWrites:  true,
+	}
+
+	batchedOpts := opts
+	batchedOpts.DisableBatching = false
+	batched, err := runWritePathConfig(batchedOpts, "batched")
+	if err != nil {
+		return nil, fmt.Errorf("bench: write-path batched: %w", err)
+	}
+	rep.Batched = batched
+
+	unbatchedOpts := opts
+	unbatchedOpts.DisableBatching = true
+	unbatched, err := runWritePathConfig(unbatchedOpts, "unbatched")
+	if err != nil {
+		return nil, fmt.Errorf("bench: write-path unbatched: %w", err)
+	}
+	rep.Unbatched = unbatched
+
+	if unbatched.Throughput > 0 {
+		rep.Speedup = batched.Throughput / unbatched.Throughput
+	}
+	rep.Results = []WritePathConfig{batched, unbatched}
+
+	if w != nil {
+		fmt.Fprintln(w, "Write path: Retwis Post, fsync per commit (batched vs unbatched)")
+		for _, r := range rep.Results {
+			fmt.Fprintf(w, "  %-10s thr=%9.1f ops/s  p50=%s p99=%s  commits=%d fsyncs=%d group=%.2f ship=%.2f errs=%d\n",
+				r.Config, r.Throughput,
+				time.Duration(r.P50Micros)*time.Microsecond,
+				time.Duration(r.P99Micros)*time.Microsecond,
+				r.Commits, r.WALSyncs, r.GroupSizeMean, r.ShipBatchMean, r.Errors)
+		}
+		fmt.Fprintf(w, "  speedup: %.2fx\n", rep.Speedup)
+	}
+
+	if outPath != "" {
+		if err := writeWritePathReport(rep, outPath); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// writeWritePathReport stores the report as indented JSON.
+func writeWritePathReport(rep *WritePathReport, path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

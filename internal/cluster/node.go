@@ -53,6 +53,13 @@ type NodeOptions struct {
 	TraceBufferSize int
 	// SlowTraceThreshold logs any root span slower than this (0 = no log).
 	SlowTraceThreshold time.Duration
+	// DisableShipCoalescing turns off the shipper's per-backup batching of
+	// write-sets (each commit then pays its own replication round trip).
+	// Used by the write-path ablation.
+	DisableShipCoalescing bool
+	// DisableRPCCoalescing turns off per-connection coalescing of this
+	// node's outbound response writes. Used by the write-path ablation.
+	DisableRPCCoalescing bool
 }
 
 // Node is one LambdaStore storage node: it persists objects, executes
@@ -117,6 +124,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	n.forwards = reg.Counter("cluster.forwards")
 	n.migrations = reg.Counter("cluster.migrations")
 	n.srv.SetTelemetry(reg)
+	n.srv.SetWriteCoalescing(!opts.DisableRPCCoalescing)
 	n.pool.SetTelemetry(reg)
 	if opts.Directory == nil {
 		opts.Directory = shard.NewDirectory(nil)
@@ -125,6 +133,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 
 	n.shipper = replication.NewShipper(n.pool, n.onBackupFailure)
 	n.shipper.SetTelemetry(reg)
+	n.shipper.SetCoalescing(!opts.DisableShipCoalescing)
 
 	rtOpts := opts.Runtime
 	rtOpts.Invoker = &routerInvoker{node: n}
@@ -289,8 +298,12 @@ func (n *Node) isPrimary() bool {
 	return ok && g.Primary == n.addr
 }
 
-// refreshBackups re-derives the replication fan-out from the directory.
+// refreshBackups re-derives the replication fan-out from the directory and
+// stamps the shipper with the directory's epoch, so every shipped frame
+// carries the configuration it was committed under (backups fence older
+// epochs).
 func (n *Node) refreshBackups() {
+	n.shipper.SetEpoch(n.dir.Load().Epoch())
 	g, ok := n.myGroup()
 	if !ok || g.Primary != n.addr {
 		n.shipper.SetBackups(nil)
@@ -349,6 +362,7 @@ func (n *Node) Close() error {
 		n.debugSrv.Close()
 	}
 	n.srv.Close()
+	n.shipper.Close()
 	n.pool.Close()
 	return n.db.Close()
 }
@@ -387,10 +401,12 @@ func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
 
 // registerHandlers wires the RPC surface.
 func (n *Node) registerHandlers() {
-	replication.RegisterBackupTelemetry(n.srv, n.db, replication.ApplierFunc(
+	replication.RegisterBackupFenced(n.srv, n.db, replication.BulkApplierFunc(
 		func(object uint64, b *store.Batch) error {
 			return n.rt.ApplyReplicated(core.ObjectID(object), b)
-		}), n.tracer, n.metrics)
+		},
+		n.rt.ApplyReplicatedBulk), n.tracer, n.metrics,
+		func() uint64 { return n.dir.Load().Epoch() })
 
 	n.srv.Handle(MethodPing, func(body []byte) ([]byte, error) {
 		return []byte(n.addr), nil

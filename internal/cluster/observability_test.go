@@ -306,11 +306,12 @@ func TestEndToEndTraceAcrossNodes(t *testing.T) {
 		t.Errorf("n1 invoke parent = %016x, want n0 rpc span %016x", remoteInvoke.Parent, rpcSpan.ID)
 	}
 
-	// n2: the backup apply nests under n0's replicate span.
+	// n2: the backup apply (one coalesced applyBatch frame for the single
+	// write) nests under n0's replicate span.
 	replicate := find(n0.Addr(), "replicate")
-	apply := find(n2.Addr(), "repl.apply")
+	apply := find(n2.Addr(), "repl.applyBatch")
 	if apply.Parent != replicate.ID {
-		t.Errorf("repl.apply parent = %016x, want replicate span %016x", apply.Parent, replicate.ID)
+		t.Errorf("repl.applyBatch parent = %016x, want replicate span %016x", apply.Parent, replicate.ID)
 	}
 
 	// Span node labels must match the serving node's RPC address.

@@ -599,6 +599,27 @@ func (rt *Runtime) ApplyReplicated(id ObjectID, b *store.Batch) error {
 	return nil
 }
 
+// ApplyReplicatedBulk applies several replicated write-sets — the members
+// of one coalesced replication frame, all for distinct objects — in a
+// single storage commit: one WAL append, and with SyncWrites one fsync,
+// for the whole frame. Per-object invalidation matches ApplyReplicated.
+func (rt *Runtime) ApplyReplicatedBulk(objects []uint64, batches []*store.Batch) error {
+	merged := store.NewBatch()
+	for _, b := range batches {
+		merged.Append(b)
+	}
+	if err := rt.db.Write(merged); err != nil {
+		return err
+	}
+	for _, object := range objects {
+		if rt.cache != nil {
+			rt.cache.InvalidateObject(object)
+		}
+		rt.objTypes.Delete(ObjectID(object))
+	}
+	return nil
+}
+
 // --- direct state accessors (tools, tests, migration) ---
 
 // GetValueField reads a value field's committed state.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdastore/internal/fault"
@@ -26,12 +27,24 @@ import (
 // RPC method names.
 const (
 	MethodApply = "repl.apply"
-	MethodFetch = "repl.fetch"
+	// MethodApplyBatch ships N coalesced (object, write-set) pairs plus the
+	// primary's configuration epoch in one frame; the backup fences stale
+	// epochs and acks all members at once.
+	MethodApplyBatch = "repl.applyBatch"
+	MethodFetch      = "repl.fetch"
 )
 
 // ErrBackupFailed reports that one or more backups did not acknowledge a
 // write-set.
 var ErrBackupFailed = errors.New("replication: backup failed")
+
+// ErrStaleEpoch is returned by a backup that receives a write-set stamped
+// with a configuration epoch older than its own: the sender is a deposed
+// primary and must not get its commit acknowledged.
+var ErrStaleEpoch = errors.New("replication: stale configuration epoch")
+
+// errShipperClosed fails in-flight ship requests during shutdown.
+var errShipperClosed = errors.New("replication: shipper closed")
 
 // applyMsg is the wire form of a shipped write-set.
 type applyMsg struct {
@@ -61,11 +74,72 @@ func decodeApply(body []byte) (*applyMsg, error) {
 	return &applyMsg{object: object, batch: b}, nil
 }
 
+// applyBatchMsg is the wire form of a coalesced ship frame: the sender's
+// configuration epoch (0 = unfenced, for pre-epoch senders) followed by N
+// (object, write-set) pairs.
+type applyBatchMsg struct {
+	epoch uint64
+	msgs  []applyMsg
+}
+
+func encodeApplyBatch(epoch uint64, entries []*shipEntry) []byte {
+	var buf []byte
+	buf = wire.AppendUvarint(buf, epoch)
+	buf = wire.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = wire.AppendUvarint(buf, e.object)
+		buf = wire.AppendBytes(buf, e.data)
+	}
+	return buf
+}
+
+func decodeApplyBatch(body []byte) (*applyBatchMsg, error) {
+	epoch, rest, err := wire.Uvarint(body)
+	if err != nil {
+		return nil, fmt.Errorf("replication: applyBatch epoch: %w", err)
+	}
+	count, rest, err := wire.Uvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("replication: applyBatch count: %w", err)
+	}
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("replication: applyBatch count %d exceeds body", count)
+	}
+	out := &applyBatchMsg{epoch: epoch, msgs: make([]applyMsg, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		object, next, err := wire.Uvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("replication: applyBatch object: %w", err)
+		}
+		raw, next, err := wire.Bytes(next)
+		if err != nil {
+			return nil, fmt.Errorf("replication: applyBatch batch: %w", err)
+		}
+		b, err := store.DecodeBatch(raw)
+		if err != nil {
+			return nil, err
+		}
+		out.msgs = append(out.msgs, applyMsg{object: object, batch: b})
+		rest = next
+	}
+	return out, nil
+}
+
 // Shipper is the primary-side replication endpoint. Safe for concurrent
 // use; write-sets of different objects ship concurrently (they commute),
 // while per-object ordering is inherited from the object scheduler.
+//
+// By default concurrent ships to the same backup coalesce: each backup has
+// a send lane whose loop drains every queued write-set into one
+// MethodApplyBatch frame, so N concurrent commits cost one RPC round trip
+// instead of N. Acks release all member commits at once; a frame error
+// fails every member, preserving "backup acked before client reply".
 type Shipper struct {
 	pool *rpc.Pool
+
+	// epoch is the configuration epoch stamped on every shipped frame;
+	// backups reject frames from older epochs (deposed primaries).
+	epoch atomic.Uint64
 
 	mu      sync.RWMutex
 	backups []string
@@ -73,12 +147,21 @@ type Shipper struct {
 	// misses a write-set; the cluster layer reports it to the coordinator.
 	onFailure func(addr string, err error)
 	shipped   uint64
+	// noCoalesce disables the per-backup lanes (ablation): every ship then
+	// performs its own single-entry applyBatch round trip.
+	noCoalesce bool
+
+	lanesMu     sync.Mutex
+	lanes       map[string]*shipLane
+	lanesClosed bool
 
 	// telemetry (all nil-safe): shippedCtr counts acknowledged write-sets,
-	// failures counts backup rejections, shipUs tracks fan-out latency.
+	// failures counts backup rejections, shipUs tracks fan-out latency,
+	// batchSize the member count of each shipped frame.
 	shippedCtr *telemetry.Counter
 	failures   *telemetry.Counter
 	shipUs     *telemetry.Histogram
+	batchSize  *telemetry.Histogram
 }
 
 // NewShipper returns a shipper over the given connection pool.
@@ -87,7 +170,8 @@ func NewShipper(pool *rpc.Pool, onFailure func(addr string, err error)) *Shipper
 }
 
 // SetTelemetry wires the shipper's counters into reg: shipped write-sets,
-// backup failures, and ship latency. Call before traffic starts.
+// backup failures, ship latency, and per-frame batch size. Call before
+// traffic starts.
 func (s *Shipper) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -96,7 +180,38 @@ func (s *Shipper) SetTelemetry(reg *telemetry.Registry) {
 	s.shippedCtr = reg.Counter("repl.shipped")
 	s.failures = reg.Counter("repl.backup_failures")
 	s.shipUs = reg.Histogram("repl.ship")
+	s.batchSize = reg.Histogram("repl.batch_size")
 	s.mu.Unlock()
+}
+
+// SetEpoch records the configuration epoch stamped on subsequent frames.
+// Zero (the initial value) ships unfenced frames that any backup accepts.
+func (s *Shipper) SetEpoch(epoch uint64) { s.epoch.Store(epoch) }
+
+// SetCoalescing toggles per-backup ship coalescing (default on). Used by
+// the write-path ablation.
+func (s *Shipper) SetCoalescing(enabled bool) {
+	s.mu.Lock()
+	s.noCoalesce = !enabled
+	s.mu.Unlock()
+}
+
+// Close stops the per-backup send lanes, failing any queued ships. Further
+// ships to lanes fail with a closed error; callers should stop committing
+// first.
+func (s *Shipper) Close() {
+	s.lanesMu.Lock()
+	if s.lanesClosed {
+		s.lanesMu.Unlock()
+		return
+	}
+	s.lanesClosed = true
+	lanes := s.lanes
+	s.lanes = nil
+	s.lanesMu.Unlock()
+	for _, l := range lanes {
+		close(l.stop)
+	}
 }
 
 // SetBackups replaces the backup set (reconfiguration).
@@ -129,12 +244,130 @@ func (s *Shipper) Ship(object uint64, b *store.Batch) error {
 	return s.ShipCtx(telemetry.SpanContext{}, object, b)
 }
 
+// shipEntry is one write-set queued on a backup's send lane. done is
+// buffered so the lane loop never blocks completing it.
+type shipEntry struct {
+	object uint64
+	data   []byte // encoded batch
+	ctx    telemetry.SpanContext
+	done   chan error
+}
+
+// shipLane is the per-backup send queue. A lane's loop drains all pending
+// entries into one applyBatch frame per round trip.
+type shipLane struct {
+	addr string
+	kick chan struct{} // buffered 1: "pending is non-empty"
+	stop chan struct{}
+
+	mu      sync.Mutex
+	pending []*shipEntry
+	closed  bool
+}
+
+func (l *shipLane) enqueue(e *shipEntry) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errShipperClosed
+	}
+	l.pending = append(l.pending, e)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// lane returns (creating if needed) the send lane for addr, or nil after
+// Close.
+func (s *Shipper) lane(addr string) *shipLane {
+	s.lanesMu.Lock()
+	defer s.lanesMu.Unlock()
+	if s.lanesClosed {
+		return nil
+	}
+	if s.lanes == nil {
+		s.lanes = make(map[string]*shipLane)
+	}
+	l := s.lanes[addr]
+	if l == nil {
+		l = &shipLane{addr: addr, kick: make(chan struct{}, 1), stop: make(chan struct{})}
+		s.lanes[addr] = l
+		go s.laneLoop(l)
+	}
+	return l
+}
+
+// laneLoop drains the lane: every wakeup swaps out the whole pending queue
+// and ships it as one frame, so the batch size adapts to how many commits
+// arrived during the previous round trip (group-commit shaped, like the WAL
+// write queue).
+func (s *Shipper) laneLoop(l *shipLane) {
+	for {
+		select {
+		case <-l.stop:
+			l.mu.Lock()
+			l.closed = true
+			pending := l.pending
+			l.pending = nil
+			l.mu.Unlock()
+			for _, e := range pending {
+				e.done <- errShipperClosed
+			}
+			return
+		case <-l.kick:
+		}
+		for {
+			l.mu.Lock()
+			pending := l.pending
+			l.pending = nil
+			l.mu.Unlock()
+			if len(pending) == 0 {
+				break
+			}
+			err := s.shipFrame(l.addr, pending)
+			for _, e := range pending {
+				e.done <- err
+			}
+		}
+	}
+}
+
+// shipFrame sends one applyBatch frame carrying entries to addr. The trace
+// context of the first entry parents the backup-side span.
+func (s *Shipper) shipFrame(addr string, entries []*shipEntry) error {
+	if fault.Enabled() {
+		d := fault.Eval(fault.SiteReplShip, addr)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Err != nil {
+			return d.Err
+		}
+		if d.Drop {
+			// Silently lost write-set: the backup diverges while the
+			// primary believes it shipped. This is the divergence probe —
+			// only chaos experiments arm it.
+			return nil
+		}
+	}
+	body := encodeApplyBatch(s.epoch.Load(), entries)
+	_, err := s.pool.CallCtx(addr, entries[0].ctx, MethodApplyBatch, body)
+	if bs := s.batchSize; bs != nil {
+		bs.Record(time.Duration(len(entries)) * time.Microsecond)
+	}
+	return err
+}
+
 // ShipCtx is Ship carrying the committing request's trace context, so the
 // backup-side apply spans join the caller's trace.
 func (s *Shipper) ShipCtx(ctx telemetry.SpanContext, object uint64, b *store.Batch) error {
 	s.mu.RLock()
 	backups := s.backups
 	shipUs := s.shipUs
+	coalesce := !s.noCoalesce
 	s.mu.RUnlock()
 	if len(backups) == 0 {
 		return nil
@@ -143,45 +376,38 @@ func (s *Shipper) ShipCtx(ctx telemetry.SpanContext, object uint64, b *store.Bat
 	if shipUs != nil {
 		start = time.Now()
 	}
-	body := encodeApply(object, b)
+	data := b.Encode()
+
+	// Fan the write-set out to every backup and collect one error per
+	// backup. Coalesced mode enqueues on each backup's lane; the ablation
+	// path performs its own single-entry frame per backup.
+	entries := make([]*shipEntry, len(backups))
+	for i, addr := range backups {
+		e := &shipEntry{object: object, data: data, ctx: ctx, done: make(chan error, 1)}
+		entries[i] = e
+		if coalesce {
+			lane := s.lane(addr)
+			if lane == nil {
+				e.done <- errShipperClosed
+			} else if err := lane.enqueue(e); err != nil {
+				e.done <- err
+			}
+		} else {
+			go func(addr string, e *shipEntry) {
+				e.done <- s.shipFrame(addr, []*shipEntry{e})
+			}(addr, e)
+		}
+	}
 
 	var firstErr error
-	type result struct {
-		addr string
-		err  error
-	}
-	results := make(chan result, len(backups))
-	for _, addr := range backups {
-		go func(addr string) {
-			if fault.Enabled() {
-				d := fault.Eval(fault.SiteReplShip, addr)
-				if d.Delay > 0 {
-					time.Sleep(d.Delay)
-				}
-				if d.Err != nil {
-					results <- result{addr: addr, err: d.Err}
-					return
-				}
-				if d.Drop {
-					// Silently lost write-set: the backup diverges while the
-					// primary believes it shipped. This is the divergence
-					// probe — only chaos experiments arm it.
-					results <- result{addr: addr, err: nil}
-					return
-				}
-			}
-			_, err := s.pool.CallCtx(addr, ctx, MethodApply, body)
-			results <- result{addr: addr, err: err}
-		}(addr)
-	}
-	for range backups {
-		r := <-results
-		if r.err != nil {
+	for i, e := range entries {
+		if err := <-e.done; err != nil {
+			addr := backups[i]
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: %s: %v", ErrBackupFailed, r.addr, r.err)
+				firstErr = fmt.Errorf("%w: %s: %v", ErrBackupFailed, addr, err)
 			}
 			if s.onFailure != nil {
-				s.onFailure(r.addr, r.err)
+				s.onFailure(addr, err)
 			}
 			if s.failures != nil {
 				s.failures.Inc()
@@ -216,10 +442,35 @@ func (f applierFunc) ApplyReplicated(object uint64, b *store.Batch) error { retu
 // ApplierFunc wraps fn as an Applier.
 func ApplierFunc(fn func(object uint64, b *store.Batch) error) Applier { return applierFunc(fn) }
 
+// BulkApplier is an optional Applier extension: a backup that implements it
+// applies all member write-sets of a coalesced frame in one storage commit
+// — one WAL append and one fsync for the whole frame — instead of one
+// commit per member.
+type BulkApplier interface {
+	ApplyReplicatedBulk(objects []uint64, batches []*store.Batch) error
+}
+
+// bulkApplierFunc adapts a (single, bulk) function pair to both interfaces.
+type bulkApplierFunc struct {
+	applierFunc
+	bulk func(objects []uint64, batches []*store.Batch) error
+}
+
+func (f *bulkApplierFunc) ApplyReplicatedBulk(objects []uint64, batches []*store.Batch) error {
+	return f.bulk(objects, batches)
+}
+
+// BulkApplierFunc wraps a single-write-set apply and a bulk apply as an
+// Applier that also satisfies BulkApplier.
+func BulkApplierFunc(single func(object uint64, b *store.Batch) error,
+	bulk func(objects []uint64, batches []*store.Batch) error) Applier {
+	return &bulkApplierFunc{applierFunc: single, bulk: bulk}
+}
+
 // RegisterBackup exposes the backup-side apply and fetch handlers on an RPC
 // server.
 func RegisterBackup(srv *rpc.Server, db *store.DB, applier Applier) {
-	RegisterBackupTelemetry(srv, db, applier, nil, nil)
+	RegisterBackupFenced(srv, db, applier, nil, nil, nil)
 }
 
 // RegisterBackupTelemetry is RegisterBackup with observability: applied
@@ -227,9 +478,20 @@ func RegisterBackup(srv *rpc.Server, db *store.DB, applier Applier) {
 // "repl.apply" span in tracer, parented to the primary's replicate span.
 // Both tracer and reg may be nil.
 func RegisterBackupTelemetry(srv *rpc.Server, db *store.DB, applier Applier, tracer *telemetry.Tracer, reg *telemetry.Registry) {
-	var applied *telemetry.Counter
+	RegisterBackupFenced(srv, db, applier, tracer, reg, nil)
+}
+
+// RegisterBackupFenced is RegisterBackupTelemetry with epoch fencing:
+// localEpoch (nil = unfenced) reports this node's configuration epoch, and
+// any applyBatch frame stamped with an older non-zero epoch is rejected
+// with ErrStaleEpoch — a deposed primary cannot get a write acknowledged
+// after its group has been reconfigured (DESIGN.md §8). Rejections are
+// counted in reg ("repl.stale_epoch").
+func RegisterBackupFenced(srv *rpc.Server, db *store.DB, applier Applier, tracer *telemetry.Tracer, reg *telemetry.Registry, localEpoch func() uint64) {
+	var applied, stale *telemetry.Counter
 	if reg != nil {
 		applied = reg.Counter("repl.applied")
+		stale = reg.Counter("repl.stale_epoch")
 	}
 	srv.HandleCtx(MethodApply, func(info rpc.CallInfo, body []byte) ([]byte, error) {
 		sp := tracer.StartSpan(info.Trace, "repl.apply")
@@ -246,6 +508,71 @@ func RegisterBackupTelemetry(srv *rpc.Server, db *store.DB, applier Applier, tra
 		if applied != nil {
 			applied.Inc()
 		}
+		return nil, nil
+	})
+	srv.HandleCtx(MethodApplyBatch, func(info rpc.CallInfo, body []byte) ([]byte, error) {
+		sp := tracer.StartSpan(info.Trace, "repl.applyBatch")
+		msg, err := decodeApplyBatch(body)
+		if err != nil {
+			sp.FinishErr(err)
+			return nil, err
+		}
+		// Fence before applying anything: a frame from a deposed primary
+		// (epoch older than ours) must not land a single write-set.
+		// Epoch 0 marks an unfenced sender and is always accepted.
+		if msg.epoch != 0 && localEpoch != nil {
+			if local := localEpoch(); msg.epoch < local {
+				err := fmt.Errorf("%w: shipped epoch %d < local epoch %d", ErrStaleEpoch, msg.epoch, local)
+				if stale != nil {
+					stale.Inc()
+				}
+				sp.FinishErr(err)
+				return nil, err
+			}
+		}
+		// The frame's members are write-sets of distinct objects
+		// (same-object write-sets are serialized by the primary's object
+		// scheduler, so one frame never carries two); order within the
+		// frame is therefore free. A BulkApplier collapses them into one
+		// storage commit — one WAL append, one fsync. Otherwise apply
+		// concurrently so the store's WAL group commit can still merge
+		// the fsyncs; sequential apply would pay one fsync per member and
+		// make frame latency grow linearly with batch size.
+		switch bulk, ok := applier.(BulkApplier); {
+		case len(msg.msgs) == 1:
+			err = applier.ApplyReplicated(msg.msgs[0].object, msg.msgs[0].batch)
+		case ok:
+			objects := make([]uint64, len(msg.msgs))
+			batches := make([]*store.Batch, len(msg.msgs))
+			for i := range msg.msgs {
+				objects[i] = msg.msgs[i].object
+				batches[i] = msg.msgs[i].batch
+			}
+			err = bulk.ApplyReplicatedBulk(objects, batches)
+		default:
+			errs := make(chan error, len(msg.msgs))
+			for i := range msg.msgs {
+				go func(m *applyMsg) {
+					errs <- applier.ApplyReplicated(m.object, m.batch)
+				}(&msg.msgs[i])
+			}
+			for range msg.msgs {
+				if e := <-errs; e != nil && err == nil {
+					err = e
+				}
+			}
+		}
+		if err != nil {
+			// The whole frame fails: the ack is withheld for every member,
+			// so no primary releases a client reply for a write-set this
+			// backup does not hold.
+			sp.FinishErr(err)
+			return nil, err
+		}
+		if applied != nil {
+			applied.Add(uint64(len(msg.msgs)))
+		}
+		sp.Finish()
 		return nil, nil
 	})
 	srv.Handle(MethodFetch, func(body []byte) ([]byte, error) {

@@ -57,6 +57,44 @@ type message struct {
 	method string // requests only
 	errStr string // responses only
 	body   []byte
+	// raw, when set, is the pooled frame buffer that body aliases; release
+	// returns it for reuse. Servers release after the handler and response
+	// write; clients never release (body ownership passes to the caller).
+	raw *[]byte
+}
+
+// release recycles the message's pooled frame buffer. The body must not be
+// used after release.
+func (m *message) release() {
+	if m.raw != nil {
+		putFrameBuf(m.raw)
+		m.raw = nil
+		m.body = nil
+	}
+}
+
+// framePool recycles inbound frame buffers. Entries are *[]byte so Put does
+// not allocate an interface header per recycle.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// maxPooledFrame bounds what readFrame returns to the pool, so one huge
+// state-transfer frame does not pin megabytes in every pool shard.
+const maxPooledFrame = 1 << 20
+
+func getFrameBuf(n int) *[]byte {
+	p := framePool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putFrameBuf(p *[]byte) {
+	if cap(*p) > maxPooledFrame {
+		return
+	}
+	framePool.Put(p)
 }
 
 func (m *message) encode(dst []byte) []byte {
@@ -96,20 +134,14 @@ func decodeMessage(b []byte) (*message, error) {
 	if body, _, err = wire.Bytes(rest); err != nil {
 		return nil, fmt.Errorf("rpc: message body: %w", err)
 	}
-	m.body = append([]byte(nil), body...)
+	// The body aliases b; when b is a pooled frame buffer the caller sets
+	// m.raw and controls the buffer's lifetime (no copy on the hot path).
+	m.body = body
 	return m, nil
 }
 
-// writeFrame sends one length-prefixed message; the caller must hold the
-// connection's write lock.
-func writeFrame(w io.Writer, m *message) error {
-	payload := m.encode(make([]byte, 4))
-	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
-	_, err := w.Write(payload)
-	return err
-}
-
-// readFrame receives one message.
+// readFrame receives one message. The message body aliases a pooled buffer:
+// the caller owns it until message.release (or forever, if never released).
 func readFrame(r io.Reader) (*message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -119,11 +151,118 @@ func readFrame(r io.Reader) (*message, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	p := getFrameBuf(int(n))
+	if _, err := io.ReadFull(r, *p); err != nil {
+		putFrameBuf(p)
 		return nil, err
 	}
-	return decodeMessage(buf)
+	m, err := decodeMessage(*p)
+	if err != nil {
+		putFrameBuf(p)
+		return nil, err
+	}
+	m.raw = p
+	return m, nil
+}
+
+// connWriter serializes outbound frames on one connection. With coalescing
+// enabled (the default), concurrent writers append their encoded frames to
+// a shared buffer and the first writer becomes the flusher: it repeatedly
+// swaps the pending buffer out and issues one conn.Write for everything
+// queued, so N concurrent frames cost one syscall instead of N. Riders
+// return immediately; a failed flush poisons the writer and closes the
+// connection, which surfaces the failure to riders through the reader side
+// (failAll on clients, conn teardown on servers).
+type connWriter struct {
+	conn     net.Conn
+	coalesce bool
+
+	mu       sync.Mutex
+	buf      []byte // pending encoded frames
+	spare    []byte // ping-pong buffer reused by the flusher
+	flushing bool
+	err      error
+
+	// coalesced counts frames that rode an existing flush instead of
+	// paying their own Write ("rpc.frames_coalesced").
+	coalesced atomic.Pointer[telemetry.Counter]
+}
+
+func newConnWriter(conn net.Conn, coalesce bool) *connWriter {
+	return &connWriter{conn: conn, coalesce: coalesce}
+}
+
+// writeMsg encodes and sends m. With coalescing, a nil return means the
+// frame is queued behind an active flusher and will reach the wire (or the
+// connection will die trying).
+func (w *connWriter) writeMsg(m *message) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	// Append one length-prefixed frame: 4-byte placeholder, encode, patch.
+	off := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	w.buf = m.encode(w.buf)
+	binary.BigEndian.PutUint32(w.buf[off:], uint32(len(w.buf)-off-4))
+
+	if !w.coalesce {
+		// Serialized write under the lock (the pre-coalescing behavior);
+		// the lock must cover conn.Write because net.Conn loops on partial
+		// writes and an interleaved writer would tear frames.
+		buf := w.buf
+		_, err := w.conn.Write(buf)
+		w.buf = buf[:0]
+		if err != nil {
+			w.err = err
+		}
+		w.mu.Unlock()
+		if err != nil {
+			w.conn.Close()
+		}
+		return err
+	}
+	if w.flushing {
+		// An active flusher will pick this frame up on its next round.
+		if c := w.coalesced.Load(); c != nil {
+			c.Inc()
+		}
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushing = true
+	for len(w.buf) > 0 && w.err == nil {
+		buf := w.buf
+		w.buf = w.spare[:0]
+		w.spare = nil
+		w.mu.Unlock()
+		_, err := w.conn.Write(buf)
+		w.mu.Lock()
+		w.spare = buf[:0]
+		if err != nil {
+			w.err = err
+		}
+	}
+	w.flushing = false
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		// Riders already returned nil for frames in the failed flush; kill
+		// the connection so the reader side fails their calls.
+		w.conn.Close()
+	}
+	return err
+}
+
+// fail poisons the writer so queued and future writes return err.
+func (w *connWriter) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
 }
 
 // Handler serves one method. The returned bytes become the response body;
@@ -142,11 +281,12 @@ type HandlerCtx func(info CallInfo, body []byte) ([]byte, error)
 // serverMetrics holds the pre-resolved instruments of an instrumented
 // server; nil means uninstrumented (zero overhead beyond one branch).
 type serverMetrics struct {
-	requests *telemetry.Counter
-	inFlight *telemetry.Gauge
-	rxBytes  *telemetry.Counter
-	txBytes  *telemetry.Counter
-	handleUs *telemetry.Histogram
+	requests  *telemetry.Counter
+	inFlight  *telemetry.Gauge
+	rxBytes   *telemetry.Counter
+	txBytes   *telemetry.Counter
+	handleUs  *telemetry.Histogram
+	coalesced *telemetry.Counter
 }
 
 // Server accepts connections and dispatches requests to registered
@@ -159,6 +299,9 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+	// noCoalesce disables per-connection response-write coalescing
+	// (ablation; see SetWriteCoalescing).
+	noCoalesce bool
 
 	metrics *serverMetrics
 
@@ -184,12 +327,21 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics = &serverMetrics{
-		requests: reg.Counter("rpc.server.requests"),
-		inFlight: reg.Gauge("rpc.server.in_flight"),
-		rxBytes:  reg.Counter("rpc.server.rx_bytes"),
-		txBytes:  reg.Counter("rpc.server.tx_bytes"),
-		handleUs: reg.Histogram("rpc.server.handle"),
+		requests:  reg.Counter("rpc.server.requests"),
+		inFlight:  reg.Gauge("rpc.server.in_flight"),
+		rxBytes:   reg.Counter("rpc.server.rx_bytes"),
+		txBytes:   reg.Counter("rpc.server.tx_bytes"),
+		handleUs:  reg.Histogram("rpc.server.handle"),
+		coalesced: reg.Counter("rpc.frames_coalesced"),
 	}
+}
+
+// SetWriteCoalescing toggles per-connection coalescing of response writes
+// (default on). Call before Serve; used by the write-path ablation.
+func (s *Server) SetWriteCoalescing(enabled bool) {
+	s.mu.Lock()
+	s.noCoalesce = !enabled
+	s.mu.Unlock()
 }
 
 // Handle registers fn for method, replacing any existing registration.
@@ -264,7 +416,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	var writeMu sync.Mutex
+	s.mu.RLock()
+	coalesce := !s.noCoalesce
+	srvMetrics := s.metrics
+	s.mu.RUnlock()
+	cw := newConnWriter(conn, coalesce)
+	if srvMetrics != nil {
+		cw.coalesced.Store(srvMetrics.coalesced)
+	}
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
@@ -273,6 +432,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if msg.kind != msgRequest {
+			msg.release()
 			continue
 		}
 		if fault.Enabled() {
@@ -282,21 +442,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			d := fault.Eval(fault.SiteRPCRecv, label)
 			if d.CrashConn {
+				msg.release()
 				return // deferred cleanup closes the connection
 			}
 			if d.Drop {
+				msg.release()
 				continue // the request vanishes; the caller times out
 			}
 			if d.Delay > 0 {
 				time.Sleep(d.Delay)
 			}
 			if d.Err != nil {
-				writeMu.Lock()
-				werr := writeFrame(conn, &message{kind: msgResponse, id: msg.id, errStr: d.Err.Error()})
-				writeMu.Unlock()
-				if werr != nil {
-					conn.Close()
-				}
+				cw.writeMsg(&message{kind: msgResponse, id: msg.id, errStr: d.Err.Error()}) //nolint:errcheck // writeMsg closes the conn on failure
+				msg.release()
 				continue
 			}
 		}
@@ -330,12 +488,11 @@ func (s *Server) serveConn(conn net.Conn) {
 				m.txBytes.Add(uint64(len(resp.body)))
 				m.inFlight.Dec()
 			}
-			writeMu.Lock()
-			err := writeFrame(conn, resp)
-			writeMu.Unlock()
-			if err != nil {
-				conn.Close()
-			}
+			// The handler has run and writeMsg has copied the response
+			// into the connection buffer, so the request's pooled frame —
+			// which resp.body may alias via the handler — can be recycled.
+			cw.writeMsg(resp) //nolint:errcheck // writeMsg closes the conn on failure
+			msg.release()
 		}(msg)
 	}
 }
@@ -370,6 +527,10 @@ type ClientOptions struct {
 	Delay time.Duration
 	// DialTimeout bounds connection establishment; zero means 5s.
 	DialTimeout time.Duration
+	// DisableWriteCoalescing turns off per-connection batching of request
+	// writes (every call then pays its own conn.Write). Used by the
+	// write-path ablation.
+	DisableWriteCoalescing bool
 }
 
 func (o *ClientOptions) sanitize() ClientOptions {
@@ -389,11 +550,12 @@ func (o *ClientOptions) sanitize() ClientOptions {
 // clientMetrics holds the pre-resolved instruments of an instrumented
 // client; nil means uninstrumented.
 type clientMetrics struct {
-	calls    *telemetry.Counter
-	inFlight *telemetry.Gauge
-	rxBytes  *telemetry.Counter
-	txBytes  *telemetry.Counter
-	callUs   *telemetry.Histogram
+	calls     *telemetry.Counter
+	inFlight  *telemetry.Gauge
+	rxBytes   *telemetry.Counter
+	txBytes   *telemetry.Counter
+	callUs    *telemetry.Histogram
+	coalesced *telemetry.Counter
 }
 
 // newClientMetrics resolves the shared outbound-call instruments.
@@ -402,11 +564,12 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 		return nil
 	}
 	return &clientMetrics{
-		calls:    reg.Counter("rpc.client.calls"),
-		inFlight: reg.Gauge("rpc.client.in_flight"),
-		rxBytes:  reg.Counter("rpc.client.rx_bytes"),
-		txBytes:  reg.Counter("rpc.client.tx_bytes"),
-		callUs:   reg.Histogram("rpc.client.call"),
+		calls:     reg.Counter("rpc.client.calls"),
+		inFlight:  reg.Gauge("rpc.client.in_flight"),
+		rxBytes:   reg.Counter("rpc.client.rx_bytes"),
+		txBytes:   reg.Counter("rpc.client.tx_bytes"),
+		callUs:    reg.Histogram("rpc.client.call"),
+		coalesced: reg.Counter("rpc.frames_coalesced"),
 	}
 }
 
@@ -422,9 +585,18 @@ type Client struct {
 	nextID  uint64
 	pending map[uint64]chan *message
 	closed  bool
-	writeMu sync.Mutex
+	cw      *connWriter
 
 	metrics atomic.Pointer[clientMetrics]
+}
+
+// setMetrics installs the shared instruments, including the connWriter's
+// coalesced-frames counter.
+func (c *Client) setMetrics(m *clientMetrics) {
+	c.metrics.Store(m)
+	if m != nil {
+		c.cw.coalesced.Store(m.coalesced)
+	}
 }
 
 // Dial connects to addr.
@@ -461,6 +633,7 @@ func dialFrom(addr string, opts *ClientOptions, from string) (*Client, error) {
 		from:    from,
 		pending: make(map[uint64]chan *message),
 		conn:    conn,
+		cw:      newConnWriter(conn, !o.DisableWriteCoalescing),
 	}
 	go c.readLoop()
 	return c, nil
@@ -559,14 +732,12 @@ func (c *Client) call(ctx telemetry.SpanContext, method string, body []byte) ([]
 
 	req := &message{kind: msgRequest, id: id, trace: ctx.Trace, parent: ctx.Span, method: method, body: body}
 	if !drop {
-		c.writeMu.Lock()
-		err := writeFrame(c.conn, req)
+		err := c.cw.writeMsg(req)
 		if err == nil && dup {
 			// Injected duplicate: the server dispatches the request twice;
 			// the response matcher drops the second reply.
-			err = writeFrame(c.conn, req)
+			err = c.cw.writeMsg(req)
 		}
-		c.writeMu.Unlock()
 		if err != nil {
 			c.mu.Lock()
 			delete(c.pending, id)
@@ -633,7 +804,7 @@ func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
 	p.mu.Lock()
 	p.metrics = m
 	for _, c := range p.clients {
-		c.metrics.Store(m)
+		c.setMetrics(m)
 	}
 	p.mu.Unlock()
 }
@@ -665,7 +836,7 @@ func (p *Pool) Get(addr string) (*Client, error) {
 	}
 	p.mu.Lock()
 	if p.metrics != nil {
-		nc.metrics.Store(p.metrics)
+		nc.setMetrics(p.metrics)
 	}
 	if existing, ok := p.clients[addr]; ok && !existing.Closed() {
 		p.mu.Unlock()

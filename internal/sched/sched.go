@@ -47,10 +47,22 @@ type objLock struct {
 	refs int
 }
 
-// Table is a sharded lock table keyed by object ID.
-type Table struct {
+// numShards is the lock-table fan-out. Admissions for different objects
+// rarely contend: they only share a shard's mutex with the other objects
+// that hash to it, never a global one.
+const numShards = 64
+
+// tableShard is one independently locked slice of the table.
+type tableShard struct {
 	mu    sync.Mutex
 	locks map[uint64]*objLock
+}
+
+// Table is a sharded lock table keyed by object ID: object state lives in
+// one of numShards independently mutexed maps, so concurrent admissions for
+// different objects proceed in parallel.
+type Table struct {
+	shards [numShards]tableShard
 
 	// Timeout bounds each acquisition; zero means 10s.
 	Timeout time.Duration
@@ -58,7 +70,17 @@ type Table struct {
 
 // NewTable returns an empty lock table.
 func NewTable() *Table {
-	return &Table{locks: make(map[uint64]*objLock)}
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].locks = make(map[uint64]*objLock)
+	}
+	return t
+}
+
+// shard maps an object ID to its shard. Object IDs are often sequential, so
+// mix the bits (Fibonacci hashing) before taking the top bits.
+func (t *Table) shard(id uint64) *tableShard {
+	return &t.shards[(id*0x9E3779B97F4A7C15)>>(64-6)]
 }
 
 // timeout returns the effective acquisition deadline.
@@ -73,39 +95,40 @@ func (t *Table) timeout() time.Duration {
 // until admitted or timed out. On success the returned release function
 // must be called exactly once.
 func (t *Table) Acquire(id uint64, mode Mode) (release func(), err error) {
-	t.mu.Lock()
-	l, ok := t.locks[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	l, ok := s.locks[id]
 	if !ok {
 		l = &objLock{}
-		t.locks[id] = l
+		s.locks[id] = l
 	}
 	l.refs++
 
 	// Fast path: grant immediately if compatible and nobody is queued
 	// (queue check preserves FIFO fairness — a waiting writer blocks new
 	// readers).
-	if len(l.queue) == 0 && t.grantable(l, mode) {
-		t.grant(l, mode)
-		t.mu.Unlock()
-		return func() { t.release(id, mode) }, nil
+	if len(l.queue) == 0 && grantable(l, mode) {
+		grant(l, mode)
+		s.mu.Unlock()
+		return func() { s.release(id, mode) }, nil
 	}
 
 	w := &waiter{mode: mode, ready: make(chan struct{})}
 	l.queue = append(l.queue, w)
-	t.mu.Unlock()
+	s.mu.Unlock()
 
 	timer := time.NewTimer(t.timeout())
 	defer timer.Stop()
 	select {
 	case <-w.ready:
-		return func() { t.release(id, mode) }, nil
+		return func() { s.release(id, mode) }, nil
 	case <-timer.C:
-		t.mu.Lock()
+		s.mu.Lock()
 		// Re-check: the grant may have raced the timeout.
 		select {
 		case <-w.ready:
-			t.mu.Unlock()
-			return func() { t.release(id, mode) }, nil
+			s.mu.Unlock()
+			return func() { s.release(id, mode) }, nil
 		default:
 		}
 		for i, q := range l.queue {
@@ -115,14 +138,15 @@ func (t *Table) Acquire(id uint64, mode Mode) (release func(), err error) {
 			}
 		}
 		l.refs--
-		t.maybeDrop(id, l)
-		t.mu.Unlock()
+		s.maybeDrop(id, l)
+		s.mu.Unlock()
 		return nil, ErrTimeout
 	}
 }
 
-// grantable reports whether mode can be admitted now. Caller holds t.mu.
-func (t *Table) grantable(l *objLock, mode Mode) bool {
+// grantable reports whether mode can be admitted now. Caller holds the
+// shard mutex.
+func grantable(l *objLock, mode Mode) bool {
 	if l.writer {
 		return false
 	}
@@ -132,8 +156,8 @@ func (t *Table) grantable(l *objLock, mode Mode) bool {
 	return true
 }
 
-// grant records an admission. Caller holds t.mu.
-func (t *Table) grant(l *objLock, mode Mode) {
+// grant records an admission. Caller holds the shard mutex.
+func grant(l *objLock, mode Mode) {
 	if mode == Write {
 		l.writer = true
 	} else {
@@ -142,10 +166,10 @@ func (t *Table) grant(l *objLock, mode Mode) {
 }
 
 // release ends an admission and wakes compatible queued waiters in order.
-func (t *Table) release(id uint64, mode Mode) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	l := t.locks[id]
+func (s *tableShard) release(id uint64, mode Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.locks[id]
 	if l == nil {
 		return
 	}
@@ -160,30 +184,36 @@ func (t *Table) release(id uint64, mode Mode) {
 	// run of readers.
 	for len(l.queue) > 0 {
 		head := l.queue[0]
-		if !t.grantable(l, head.mode) {
+		if !grantable(l, head.mode) {
 			break
 		}
-		t.grant(l, head.mode)
+		grant(l, head.mode)
 		l.queue = l.queue[1:]
 		close(head.ready)
 		if head.mode == Write {
 			break
 		}
 	}
-	t.maybeDrop(id, l)
+	s.maybeDrop(id, l)
 }
 
-// maybeDrop garbage-collects an idle lock entry. Caller holds t.mu.
-func (t *Table) maybeDrop(id uint64, l *objLock) {
+// maybeDrop garbage-collects an idle lock entry. Caller holds the shard
+// mutex.
+func (s *tableShard) maybeDrop(id uint64, l *objLock) {
 	if l.refs == 0 && !l.writer && l.readers == 0 && len(l.queue) == 0 {
-		delete(t.locks, id)
+		delete(s.locks, id)
 	}
 }
 
 // Len returns the number of objects with active or queued admissions
 // (for tests and stats).
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.locks)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.locks)
+		s.mu.Unlock()
+	}
+	return n
 }

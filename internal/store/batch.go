@@ -43,6 +43,14 @@ func (b *Batch) Delete(key []byte) {
 // Len returns the number of queued operations.
 func (b *Batch) Len() int { return b.count }
 
+// Append queues every operation of o onto b, in order. Backups use it to
+// collapse the member write-sets of one coalesced replication frame into a
+// single batch — and therefore a single WAL append and fsync.
+func (b *Batch) Append(o *Batch) {
+	b.data = append(b.data, o.data...)
+	b.count += o.count
+}
+
 // Seq returns the sequence number assigned to the batch's first record by
 // the DB at commit time (zero before commit). Replication uses it to order
 // shipped write-sets.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"lambdastore/internal/telemetry"
 )
@@ -20,21 +21,37 @@ type DB struct {
 	opts *Options
 	lock *os.File
 
-	mu       sync.Mutex
-	cond     *sync.Cond // signaled when flush/compaction state changes
-	mem      *memtable
-	imm      *memtable // frozen memtable being flushed; nil if none
-	wal      *walWriter
-	walNum   uint64
-	immWal   uint64 // WAL number backing imm
-	lastSeq  uint64
-	nextFile uint64
-	current  *version
-	man      *manifest
-	snaps    map[uint64]int // snapshot seq -> refcount
-	closed   bool
-	bgErr    error
-	bgActive bool
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when flush/compaction state changes
+	mem  *memtable
+	imm  *memtable // frozen memtable being flushed; nil if none
+	// writers is the group-commit queue: the head is the current leader,
+	// which forms a write group from the queue prefix, performs the WAL
+	// I/O for all members with mu released, then completes them and
+	// promotes the next head. Guarded by mu.
+	writers []*dbWriter
+	// writeActive is true while a group leader performs WAL I/O with mu
+	// released; WAL rotation (Flush) and Close must wait for it so the
+	// log is never swapped out from under an in-flight group.
+	writeActive bool
+	// groupStreak arms the GroupCommitWait linger (the commit_siblings
+	// analog): any multi-member group sets it to groupStreakArm, every
+	// solo group decays it by one, and leaders linger only while it is
+	// positive. The hysteresis keeps the linger engaged across the solo
+	// groups that naturally fall between commit bursts, while strictly
+	// sequential workloads decay to zero and never pay the delay.
+	groupStreak int
+	wal         *walWriter
+	walNum      uint64
+	immWal      uint64 // WAL number backing imm
+	lastSeq     uint64
+	nextFile    uint64
+	current     *version
+	man         *manifest
+	snaps       map[uint64]int // snapshot seq -> refcount
+	closed      bool
+	bgErr       error
+	bgActive    bool
 
 	compactPtr [numLevels][]byte // round-robin compaction cursors (user keys)
 
@@ -57,6 +74,9 @@ type dbMetrics struct {
 	flushes     *telemetry.Counter
 	compactions *telemetry.Counter
 	compactUs   *telemetry.Histogram
+	// groupSize records the member count of each committed write group
+	// (unit: batches, not time — read the quantiles as counts in µs form).
+	groupSize *telemetry.Histogram
 }
 
 func newDBMetrics(reg *telemetry.Registry) *dbMetrics {
@@ -67,6 +87,7 @@ func newDBMetrics(reg *telemetry.Registry) *dbMetrics {
 		flushes:     reg.Counter("store.flushes"),
 		compactions: reg.Counter("store.compactions"),
 		compactUs:   reg.Histogram("store.compact"),
+		groupSize:   reg.Histogram("wal.group_size"),
 	}
 }
 
@@ -261,12 +282,62 @@ func (db *DB) Delete(key []byte) error {
 	return db.Write(b)
 }
 
+// dbWriter is one pending Write in the group-commit queue. The ready
+// channel (buffered, capacity 1) is signaled when the writer is promoted to
+// the head of the queue or completed by a group leader.
+type dbWriter struct {
+	batch *Batch
+	err   error
+	done  bool
+	ready chan struct{}
+}
+
+// maxGroupBytes bounds the encoded size of one write group so a burst of
+// large batches cannot turn into one unbounded WAL write. The first batch
+// always commits regardless of size.
+const maxGroupBytes = 1 << 20
+
 // Write applies the batch atomically: it is logged to the WAL, then
 // published to readers in one step.
+//
+// Concurrent Writes form write groups (LevelDB-style group commit): each
+// caller joins a queue, the queue head becomes the leader and performs one
+// WAL append — and, with SyncWrites, one fsync — covering every member,
+// then completes them all. Durability is unchanged: a Write does not return
+// success until its records are (group-)synced and applied.
 func (db *DB) Write(b *Batch) error {
 	if b.Empty() {
 		return nil
 	}
+	if db.opts.DisableGroupCommit {
+		return db.writeSolo(b)
+	}
+	w := &dbWriter{batch: b, ready: make(chan struct{}, 1)}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.writers = append(db.writers, w)
+	for !w.done && db.writers[0] != w {
+		db.mu.Unlock()
+		<-w.ready
+		db.mu.Lock()
+	}
+	if !w.done {
+		// w is the queue head: lead a group commit. commitGroup completes
+		// w (and any members it grouped with it) before returning.
+		db.lingerForGroup()
+		db.commitGroup()
+	}
+	db.mu.Unlock()
+	return w.err
+}
+
+// writeSolo is the pre-group-commit write path: WAL append (and fsync when
+// configured) under the commit lock, one batch at a time. Kept for the
+// write-path ablation (Options.DisableGroupCommit).
+func (db *DB) writeSolo(b *Batch) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -292,6 +363,158 @@ func (db *DB) Write(b *Batch) error {
 	}
 	db.lastSeq += uint64(b.count)
 	return nil
+}
+
+// groupWaitTarget is the queue depth at which a lingering leader stops
+// waiting and commits: past this point the fsync is already amortized
+// well enough that further delay only adds latency.
+const groupWaitTarget = 8
+
+// groupStreakArm is the number of consecutive single-member groups after
+// which the GroupCommitWait linger disarms. One multi-member group re-arms
+// it fully.
+const groupStreakArm = 16
+
+// lingerForGroup implements the GroupCommitWait delay: the queue head
+// briefly holds off its (fsync'd) WAL write so concurrent committers can
+// join the group, turning N fsyncs into one. The delay engages only when
+// writer concurrency is evident — another writer is already queued, or the
+// previous group had several members — so sequential workloads commit
+// immediately. Called and returns with db.mu held; the caller is the queue
+// head, which nothing else can complete, so the identity of db.writers[0]
+// is stable across the unlocked sleeps.
+func (db *DB) lingerForGroup() {
+	wait := db.opts.GroupCommitWait
+	if wait <= 0 || !db.opts.SyncWrites || db.closed {
+		return
+	}
+	if len(db.writers) < 2 && db.groupStreak == 0 {
+		return
+	}
+	slice := wait / 4
+	if slice <= 0 {
+		slice = wait
+	}
+	deadline := time.Now().Add(wait)
+	for len(db.writers) < groupWaitTarget && !db.closed {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		if remaining > slice {
+			remaining = slice
+		}
+		db.mu.Unlock()
+		time.Sleep(remaining)
+		db.mu.Lock()
+	}
+}
+
+// commitGroup runs on the writer at the head of db.writers. It forms a
+// group from a prefix of the queue, pre-assigns sequence numbers, performs
+// the WAL I/O for the whole group with db.mu released (writeActive fences
+// WAL rotation meanwhile), applies the batches, completes the members, and
+// promotes the next queue head. Called and returns with db.mu held.
+func (db *DB) commitGroup() {
+	if db.closed {
+		db.failAllWriters(ErrClosed)
+		return
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		// Backpressure errors (sticky background error, close during a
+		// stall) apply to every queued writer equally: fail them all
+		// rather than replaying the same failure one head at a time.
+		db.failAllWriters(err)
+		return
+	}
+	// Form the group: a prefix of the queue, bounded by encoded bytes.
+	// Sequence numbers are assigned now, consecutively, but lastSeq is only
+	// advanced after the WAL write succeeds so readers never observe
+	// sequences that might not commit.
+	group := db.writers[:1]
+	records := make([][]byte, 0, len(db.writers))
+	total := 0
+	seq := db.lastSeq
+	for i, w := range db.writers {
+		if i > 0 && total >= maxGroupBytes {
+			break
+		}
+		w.batch.startSeq = seq + 1
+		seq += uint64(w.batch.count)
+		rec := w.batch.encode(nil)
+		records = append(records, rec)
+		total += len(rec)
+		group = db.writers[:i+1]
+	}
+	if len(group) > 1 {
+		db.groupStreak = groupStreakArm
+	} else if db.groupStreak > 0 {
+		db.groupStreak--
+	}
+
+	sync := db.opts.SyncWrites
+	wal := db.wal
+	db.writeActive = true
+	db.mu.Unlock()
+	err := wal.appendAll(records, sync)
+	db.mu.Lock()
+	db.writeActive = false
+
+	if err == nil {
+		for i, w := range group {
+			if aerr := w.batch.apply(db.mem); aerr != nil {
+				// Apply failures are per-member; sequence space was
+				// consumed either way, so later members stay consistent.
+				w.err = aerr
+			}
+			if m := db.metrics; m != nil {
+				m.writes.Inc()
+				m.walBytes.Add(uint64(len(records[i])))
+			}
+		}
+		db.lastSeq = seq
+		if m := db.metrics; m != nil {
+			if sync {
+				m.walSyncs.Inc()
+			}
+			m.groupSize.Record(time.Duration(len(group)) * time.Microsecond)
+		}
+	}
+
+	// Complete the group and promote the next head.
+	db.writers = db.writers[len(group):]
+	for _, w := range group {
+		if err != nil {
+			w.err = err
+		}
+		w.done = true
+		select {
+		case w.ready <- struct{}{}:
+		default:
+		}
+	}
+	if len(db.writers) > 0 {
+		select {
+		case db.writers[0].ready <- struct{}{}:
+		default:
+		}
+	}
+	db.cond.Broadcast()
+}
+
+// failAllWriters completes every queued writer with err and clears the
+// queue. Called with db.mu held.
+func (db *DB) failAllWriters(err error) {
+	for _, w := range db.writers {
+		w.err = err
+		w.done = true
+		select {
+		case w.ready <- struct{}{}:
+		default:
+		}
+	}
+	db.writers = db.writers[:0]
+	db.cond.Broadcast()
 }
 
 // makeRoomForWrite rotates the memtable when full and applies write stalls,
@@ -611,7 +834,10 @@ func (db *DB) Flush() error {
 		return ErrClosed
 	}
 	if db.mem.len() > 0 {
-		for db.imm != nil && db.bgErr == nil && !db.closed {
+		// Wait out any in-flight group commit too: rotating the WAL while
+		// a leader is appending to it would strand the group's records in
+		// a log that no longer backs the memtable they apply to.
+		for (db.imm != nil || db.writeActive) && db.bgErr == nil && !db.closed {
 			db.cond.Wait()
 		}
 		if db.bgErr != nil || db.closed {
@@ -683,6 +909,12 @@ func (db *DB) Close() error {
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Let any in-flight group commit finish and the writer queue drain
+	// (the next promoted head observes closed and fails the remainder)
+	// before closing the WAL underneath them.
+	for db.writeActive || len(db.writers) > 0 {
+		db.cond.Wait()
+	}
 	var firstErr error
 	if err := db.wal.close(); err != nil {
 		firstErr = err
