@@ -6,12 +6,13 @@
 #   make chaos   seeded failover chaos suite under the race detector
 #   make bench   telemetry hot-path benchmarks (must report 0 allocs/op)
 #   make bench-write  write-path batched-vs-unbatched comparison (JSON artifact)
+#   make bench-read   read-path per-layer ablation sweep (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read vet check clean
 
 all: build
 
@@ -22,9 +23,10 @@ test:
 	$(GO) test ./...
 
 # The packages where a data race would actually hide: the runtime, the
-# cluster node, and the telemetry instruments themselves.
+# cluster node, the caches on the read path, the store, and the telemetry
+# instruments themselves.
 race:
-	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/telemetry/
+	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/
 
 # Deterministic failover chaos: every seed replays the same kill/partition/
 # fsync-failure schedule (see EXPERIMENTS.md "Chaos runs"). The smoke
@@ -41,6 +43,12 @@ bench:
 bench-write:
 	$(GO) run ./cmd/lambda-bench -write-path -accounts 512 -concurrency 32 -ops 3000 -out results/BENCH_write_path.json
 
+# Read-path throughput: each fast-read layer (cache sharding, hot-state
+# cache, cheap VM reset, read-only fast path) ablated independently,
+# Retwis GetTimeline over a hot account set at 1/8/64 clients.
+bench-read:
+	$(GO) run ./cmd/lambda-bench -read-path -ops 4000 -out results/BENCH_read_path.json
+
 vet:
 	@fmt_out=$$(gofmt -l .); \
 	if [ -n "$$fmt_out" ]; then \
@@ -48,7 +56,7 @@ vet:
 	fi
 	$(GO) vet ./...
 
-check: vet build test
+check: vet build test race
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	lambda-bench -ablation sched          A4: per-object scheduling
 //	lambda-bench -ablation netdelay       A5: network-delay sweep
 //	lambda-bench -write-path              batched vs unbatched write pipeline
+//	lambda-bench -read-path               read-path layer ablations (GetTimeline)
 //	lambda-bench -all                     everything
 package main
 
@@ -32,7 +33,8 @@ func main() {
 		all         = flag.Bool("all", false, "run everything")
 		dataRoot    = flag.String("data", "", "scratch directory root")
 		writePath   = flag.Bool("write-path", false, "run the batched-vs-unbatched write-path benchmark (fsync per commit)")
-		out         = flag.String("out", "", "write the write-path report JSON to this path")
+		readPath    = flag.Bool("read-path", false, "run the read-path ablation sweep (GetTimeline at 1/8/64 clients)")
+		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -117,6 +119,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunWritePath(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: write-path: %v", err)
+		}
+		fmt.Println()
+	}
+	if *readPath {
+		ran = true
+		if _, err := bench.RunReadPath(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: read-path: %v", err)
 		}
 		fmt.Println()
 	}

@@ -41,7 +41,15 @@ type Options struct {
 	// group commit, replication ship coalescing, and RPC write coalescing —
 	// for the batched-vs-unbatched ablation.
 	DisableBatching bool
-	Verbose         bool
+
+	// Read-path ablation knobs (benchmarked by RunReadPath): each disables
+	// one layer of the fast read path independently.
+	CacheShards         int  // result-cache shard count (0 default; 1 = unsharded)
+	StateCacheEntries   int  // store hot-state cache (0 default; negative = off)
+	DisableReadFastPath bool // read-only invocations take the full txn path
+	FullVMReset         bool // warm VM reuse re-images all memory
+
+	Verbose bool
 }
 
 // DefaultOptions returns a laptop-scale configuration.
@@ -140,11 +148,15 @@ func StartAggregated(opts Options) (*Deployment, error) {
 				SyncWrites:         opts.SyncWrites,
 				DisableGroupCommit: opts.DisableBatching,
 				GroupCommitWait:    opts.groupCommitWait(),
+				StateCacheEntries:  opts.StateCacheEntries,
 			},
 			Runtime: core.Options{
-				Fuel:             opts.Fuel,
-				CacheEntries:     opts.CacheEntries,
-				DisableScheduler: opts.DisableSched,
+				Fuel:                opts.Fuel,
+				CacheEntries:        opts.CacheEntries,
+				CacheShards:         opts.CacheShards,
+				DisableScheduler:    opts.DisableSched,
+				DisableReadFastPath: opts.DisableReadFastPath,
+				FullVMReset:         opts.FullVMReset,
 			},
 			Directory:             dir,
 			ClientOptions:         opts.clientOpts(),

@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"lambdastore/internal/core"
+	"lambdastore/internal/workload"
+)
+
+// readPathClients are the closed-loop client counts swept per ablation.
+var readPathClients = []int{1, 8, 64}
+
+// readPathPosts posts are seeded per hot account and readPathLimit are
+// read back per GetTimeline, so each op traverses a real timeline: a
+// cache hit re-validates ~readPathLimit read dependencies (the state
+// cache's target) and a miss re-executes a real VM scan. The default
+// GetTimeline op reads 10 posts of an unseeded (empty) timeline, which
+// measures only RPC dispatch.
+const (
+	readPathPosts = 40
+	readPathLimit = 40
+	// readPathMsgLen is deliberately small: the response payload is floor
+	// cost every configuration pays; the per-key validation work is what
+	// the sweep isolates.
+	readPathMsgLen = 24
+)
+
+// ReadPathPoint is one (ablation, clients) measurement of the read path.
+type ReadPathPoint struct {
+	Config     string  `json:"config"`
+	Clients    int     `json:"clients"`
+	Ops        uint64  `json:"ops"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	P50Micros  int64   `json:"p50_us"`
+	P99Micros  int64   `json:"p99_us"`
+	Errors     uint64  `json:"errors"`
+	// CacheHitRate is the consistent result cache's hits/(hits+misses)
+	// over the measured run, summed across the group.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// StateCacheHitRate is the store-level hot-object state cache's rate
+	// (0 when the cache is ablated).
+	StateCacheHitRate float64 `json:"state_cache_hit_rate"`
+	// AllocsPerOp is the process-wide heap-allocation delta divided by
+	// completed ops — a relative measure (clients and servers share the
+	// process) that the fast path drives down.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// readPathAblation names one configuration of the sweep. Each named config
+// enables exactly one layer on top of the fully ablated baseline, and
+// "all" enables every layer — so the sweep shows both each layer's
+// isolated contribution and their combined effect.
+type readPathAblation struct {
+	name  string
+	apply func(*Options)
+}
+
+// ablateAll turns every read-path optimization off: unsharded result
+// cache, no state cache, full VM re-image per warm start, no read-only
+// fast path.
+func ablateAll(o *Options) {
+	o.CacheShards = 1
+	o.StateCacheEntries = -1
+	o.FullVMReset = true
+	o.DisableReadFastPath = true
+}
+
+var readPathAblations = []readPathAblation{
+	{"none", func(o *Options) { ablateAll(o) }},
+	{"shard", func(o *Options) { ablateAll(o); o.CacheShards = 0 }},
+	{"statecache", func(o *Options) { ablateAll(o); o.StateCacheEntries = 0 }},
+	{"vmpool", func(o *Options) { ablateAll(o); o.FullVMReset = false }},
+	{"fastpath", func(o *Options) { ablateAll(o); o.DisableReadFastPath = false }},
+	{"all", func(o *Options) {}},
+}
+
+// ReadPathReport is the results/BENCH_read_path.json document.
+type ReadPathReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Workload    string          `json:"workload"`
+	Accounts    int             `json:"accounts"`
+	Ops         int             `json:"ops"`
+	Replicas    int             `json:"replicas"`
+	Clients     []int           `json:"clients"`
+	Results     []ReadPathPoint `json:"results"`
+	// Speedup64 is all-on over all-ablated GetTimeline throughput at the
+	// highest client count (the issue's headline number).
+	Speedup64 float64 `json:"speedup_at_64_clients"`
+}
+
+// runReadPathPoint boots one aggregated deployment under the given
+// ablation and drives GetTimeline at one client count.
+func runReadPathPoint(opts Options, name string, clients int) (ReadPathPoint, error) {
+	out := ReadPathPoint{Config: name, Clients: clients}
+	d, err := StartAggregated(opts)
+	if err != nil {
+		return out, err
+	}
+	defer d.Close()
+	cfg := workload.DefaultConfig(opts.Accounts)
+	if err := workload.Populate(cfg, d.Create, d.Invoker); err != nil {
+		return out, err
+	}
+	if err := seedTimelines(cfg, d.Invoker); err != nil {
+		return out, err
+	}
+	// Flush memtables so the measured reads face SSTables, as in a store
+	// that has been up longer than one memtable's worth of writes.
+	for _, n := range d.Nodes {
+		if err := n.DB().Flush(); err != nil {
+			return out, err
+		}
+	}
+
+	timelineOps := func(worker int) (func() error, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+		return func() error {
+			id := cfg.AccountID(rng.Intn(cfg.Accounts))
+			_, err := d.Invoker.Invoke(id, "get_timeline", [][]byte{core.I64Bytes(readPathLimit)})
+			return err
+		}, nil
+	}
+
+	// Unmeasured warmup: fill every node's result cache so the measured
+	// run is the steady state (first-touch misses re-execute the VM, two
+	// orders of magnitude slower than a validated hit — a handful of them
+	// would dominate the mean).
+	warmupOps := 8 * opts.Accounts * len(d.Nodes)
+	if _, err := workload.RunClosedLoopOps(workload.GetTimeline, timelineOps, 16, warmupOps); err != nil {
+		return out, err
+	}
+
+	// Snapshot cache counters and heap allocations after warmup so only
+	// the steady-state run counts.
+	baseHits, baseMisses := readPathCacheCounters(d)
+	baseSCHits, baseSCMisses := readPathStateCacheCounters(d)
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	res, err := workload.RunClosedLoopOps(workload.GetTimeline, timelineOps, clients, opts.OpsPerWorkload)
+	if err != nil {
+		return out, err
+	}
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	hits, misses := readPathCacheCounters(d)
+	scHits, scMisses := readPathStateCacheCounters(d)
+
+	out.Ops = uint64(res.Ops)
+	out.Throughput = res.Throughput
+	out.P50Micros = res.Latency.Median.Microseconds()
+	out.P99Micros = res.Latency.P99.Microseconds()
+	out.Errors = res.Errors
+	out.CacheHitRate = hitRate(hits-baseHits, misses-baseMisses)
+	out.StateCacheHitRate = hitRate(scHits-baseSCHits, scMisses-baseSCMisses)
+	if res.Ops > 0 {
+		out.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
+	}
+	return out, nil
+}
+
+// seedTimelines appends readPathPosts posts to every account's timeline
+// (store_post directly, no follower fan-out) so GetTimeline reads real
+// data.
+func seedTimelines(cfg workload.Config, inv workload.Invoker) error {
+	msg := make([]byte, readPathMsgLen)
+	for i := range msg {
+		msg[i] = byte('a' + i%26)
+	}
+	const parallel = 32
+	jobs := make(chan uint64, parallel)
+	errs := make(chan error, parallel)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				for p := 0; p < readPathPosts; p++ {
+					author := cfg.AccountID(p % cfg.Accounts)
+					args := [][]byte{core.I64Bytes(int64(author)), core.I64Bytes(int64(p)), msg}
+					if _, err := inv.Invoke(id, "store_post", args); err != nil {
+						errs <- fmt.Errorf("store_post %d: %w", id, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var sendErr error
+	for i := 0; i < cfg.Accounts; i++ {
+		select {
+		case sendErr = <-errs:
+		case jobs <- cfg.AccountID(i):
+			continue
+		}
+		break
+	}
+	close(jobs)
+	wg.Wait()
+	if sendErr != nil {
+		return sendErr
+	}
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// readPathCacheCounters sums the consistent result cache's hit/miss
+// counters across the group.
+func readPathCacheCounters(d *Deployment) (hits, misses uint64) {
+	for _, n := range d.Nodes {
+		if c := n.Runtime().Cache(); c != nil {
+			st := c.Stats()
+			hits += st.Hits
+			misses += st.Misses
+		}
+	}
+	return hits, misses
+}
+
+// readPathStateCacheCounters sums the store-level state cache's counters.
+func readPathStateCacheCounters(d *Deployment) (hits, misses uint64) {
+	for _, n := range d.Nodes {
+		h, m := n.DB().StateCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// RunReadPath sweeps the read-path ablations over the GetTimeline workload
+// at 1/8/64 closed-loop clients. Like RunAblationCache, the population is
+// capped to a small hot set so cached invocations recur — the regime the
+// fast read path targets. An empty outPath skips the JSON artifact.
+func RunReadPath(opts Options, outPath string, w io.Writer) (*ReadPathReport, error) {
+	if opts.Accounts > 64 {
+		opts.Accounts = 64
+	}
+	if opts.OpsPerWorkload < 3000 {
+		opts.OpsPerWorkload = 3000
+	}
+
+	rep := &ReadPathReport{
+		GeneratedBy: "make bench-read",
+		Workload:    workload.GetTimeline,
+		Accounts:    opts.Accounts,
+		Ops:         opts.OpsPerWorkload,
+		Replicas:    opts.Replicas,
+		Clients:     readPathClients,
+	}
+
+	if w != nil {
+		fmt.Fprintln(w, "Read path: Retwis GetTimeline, hot account set (per-layer ablations)")
+	}
+	var noneAtMax, allAtMax float64
+	for _, ab := range readPathAblations {
+		o := opts
+		ab.apply(&o)
+		for _, clients := range readPathClients {
+			p, err := runReadPathPoint(o, ab.name, clients)
+			if err != nil {
+				return nil, fmt.Errorf("bench: read-path %s/%d: %w", ab.name, clients, err)
+			}
+			rep.Results = append(rep.Results, p)
+			if clients == readPathClients[len(readPathClients)-1] {
+				switch ab.name {
+				case "none":
+					noneAtMax = p.Throughput
+				case "all":
+					allAtMax = p.Throughput
+				}
+			}
+			if w != nil {
+				fmt.Fprintf(w, "  %-10s c=%-3d thr=%9.1f ops/s  p50=%6dus p99=%6dus  hit=%.2f schit=%.2f allocs/op=%.0f errs=%d\n",
+					p.Config, p.Clients, p.Throughput, p.P50Micros, p.P99Micros,
+					p.CacheHitRate, p.StateCacheHitRate, p.AllocsPerOp, p.Errors)
+			}
+		}
+	}
+	if noneAtMax > 0 {
+		rep.Speedup64 = allAtMax / noneAtMax
+	}
+	if w != nil {
+		fmt.Fprintf(w, "  speedup at %d clients (all vs none): %.2fx\n",
+			readPathClients[len(readPathClients)-1], rep.Speedup64)
+	}
+
+	if outPath != "" {
+		if err := writeReadPathReport(rep, outPath); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// writeReadPathReport stores the report as indented JSON.
+func writeReadPathReport(rep *ReadPathReport, path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,12 +7,17 @@
 // cheaply and consistently precisely because data and compute are
 // co-located. Commits to an object additionally invalidate its entries
 // proactively.
+//
+// The cache is sharded by object ID: every entry for an object lives in
+// exactly one shard, so InvalidateObject touches a single shard lock and
+// concurrent readers of different objects never contend.
 package cache
 
 import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // HashValue produces the value fingerprint stored in read sets. A presence
@@ -66,18 +71,29 @@ type entryKey struct {
 	argsHash uint64
 }
 
-// Stats counts cache outcomes for the benchmark harness.
+// Stats counts cache outcomes for the benchmark harness and /metrics.
 type Stats struct {
 	Hits        uint64
 	Misses      uint64
 	Validations uint64 // entries found but re-validated away
 	Stores      uint64
 	Evictions   uint64
+	// Bypass counts invocations that were not cache-eligible (mutating,
+	// non-deterministic, or poisoned by time/rand/scans mid-run).
+	Bypass uint64
+	// Invalidations counts entries dropped by proactive InvalidateObject.
+	Invalidations uint64
 }
 
-// Cache is a bounded, LRU-evicting consistent result cache. Safe for
-// concurrent use.
-type Cache struct {
+// DefaultShards is the shard count used by New. 32 comfortably exceeds the
+// core counts this runs on while keeping per-shard LRU lists long enough to
+// stay useful.
+const DefaultShards = 32
+
+// shard is one lock-striped partition of the cache. All entries for a given
+// object hash to the same shard, which is what keeps InvalidateObject a
+// single-lock operation.
+type shard struct {
 	mu       sync.Mutex
 	entries  map[entryKey]*Entry
 	byObject map[uint64]map[entryKey]struct{}
@@ -86,18 +102,64 @@ type Cache struct {
 	stats    Stats
 }
 
-// New returns a cache bounded to capacity entries (<=0 means 64k).
+// Cache is a bounded, LRU-evicting consistent result cache. Safe for
+// concurrent use.
+type Cache struct {
+	shards []*shard
+	mask   uint64 // len(shards)-1; len is always a power of two
+	bypass atomic.Uint64
+}
+
+// New returns a cache bounded to capacity entries (<=0 means 64k), split
+// across DefaultShards shards.
 func New(capacity int) *Cache {
+	return NewSharded(capacity, DefaultShards)
+}
+
+// NewSharded returns a cache with an explicit shard count (rounded up to a
+// power of two; <=0 means DefaultShards). shards=1 degenerates to the old
+// single-mutex cache and exists for the read-path ablation.
+func NewSharded(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = 64 << 10
 	}
-	return &Cache{
-		entries:  make(map[entryKey]*Entry),
-		byObject: make(map[uint64]map[entryKey]struct{}),
-		lru:      list.New(),
-		capacity: capacity,
+	if shards <= 0 {
+		shards = DefaultShards
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	// Tiny caches keep exact global LRU order: splitting a handful of slots
+	// across shards would evict by shard occupancy, not recency. Cap the
+	// shard count so each shard holds at least 16 entries.
+	for n > 1 && capacity/n < 16 {
+		n >>= 1
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1)}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries:  make(map[entryKey]*Entry),
+			byObject: make(map[uint64]map[entryKey]struct{}),
+			lru:      list.New(),
+			capacity: per,
+		}
+	}
+	return c
 }
+
+// shardFor hashes the object ID to its shard. Fibonacci hashing spreads the
+// sequential IDs the runtime allocates evenly across shards.
+func (c *Cache) shardFor(object uint64) *shard {
+	return c.shards[(object*0x9e3779b97f4a7c15)>>33&c.mask]
+}
+
+// Shards reports the shard count (for tests and debug output).
+func (c *Cache) Shards() int { return len(c.shards) }
 
 // Lookup finds a cached result for (object, method, argsHash) and validates
 // its read set with readHash, which must return the fingerprint of the
@@ -105,34 +167,35 @@ func New(capacity int) *Cache {
 // every dependency still matches; stale entries are dropped.
 func (c *Cache) Lookup(object uint64, method string, argsHash uint64, readHash func(key []byte) uint64) ([]byte, bool) {
 	k := entryKey{object: object, method: method, argsHash: argsHash}
-	c.mu.Lock()
-	e, ok := c.entries[k]
+	s := c.shardFor(object)
+	s.mu.Lock()
+	e, ok := s.entries[k]
 	if !ok {
-		c.stats.Misses++
-		c.mu.Unlock()
+		s.stats.Misses++
+		s.mu.Unlock()
 		return nil, false
 	}
 	// Copy the read set out so validation runs without the lock (readHash
 	// hits the storage engine).
 	deps := e.ReadSet
 	result := e.Result
-	c.mu.Unlock()
+	s.mu.Unlock()
 
 	for _, dep := range deps {
 		if readHash(dep.Key) != dep.ValueHash {
-			c.mu.Lock()
-			c.stats.Validations++
-			c.removeLocked(k)
-			c.mu.Unlock()
+			s.mu.Lock()
+			s.stats.Validations++
+			s.removeLocked(k)
+			s.mu.Unlock()
 			return nil, false
 		}
 	}
-	c.mu.Lock()
-	if cur, ok := c.entries[k]; ok {
-		c.lru.MoveToFront(cur.element)
+	s.mu.Lock()
+	if cur, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(cur.element)
 	}
-	c.stats.Hits++
-	c.mu.Unlock()
+	s.stats.Hits++
+	s.mu.Unlock()
 	return result, true
 }
 
@@ -144,68 +207,96 @@ func (c *Cache) Store(object uint64, method string, argsHash uint64, result []by
 		ReadSet: readSet,
 		key:     k,
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, ok := c.entries[k]; ok {
-		c.lru.Remove(old.element)
+	s := c.shardFor(object)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[k]; ok {
+		s.lru.Remove(old.element)
 	}
-	e.element = c.lru.PushFront(e)
-	c.entries[k] = e
-	objSet, ok := c.byObject[object]
+	e.element = s.lru.PushFront(e)
+	s.entries[k] = e
+	objSet, ok := s.byObject[object]
 	if !ok {
 		objSet = make(map[entryKey]struct{})
-		c.byObject[object] = objSet
+		s.byObject[object] = objSet
 	}
 	objSet[k] = struct{}{}
-	c.stats.Stores++
+	s.stats.Stores++
 
-	for len(c.entries) > c.capacity {
-		back := c.lru.Back()
+	for len(s.entries) > s.capacity {
+		back := s.lru.Back()
 		if back == nil {
 			break
 		}
-		c.removeLocked(back.Value.(*Entry).key)
-		c.stats.Evictions++
+		s.removeLocked(back.Value.(*Entry).key)
+		s.stats.Evictions++
 	}
 }
 
 // InvalidateObject drops every entry whose invocation ran against object.
 // Called on each commit to the object; read-set validation would also catch
-// staleness, so this is a proactive fast path.
+// staleness, so this is a proactive fast path. All of an object's entries
+// share a shard, so one lock covers the whole invalidation.
 func (c *Cache) InvalidateObject(object uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k := range c.byObject[object] {
-		c.removeLocked(k)
+	s := c.shardFor(object)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.byObject[object] {
+		s.removeLocked(k)
+		s.stats.Invalidations++
 	}
 }
 
-// removeLocked unlinks an entry from all indexes. Caller holds c.mu.
-func (c *Cache) removeLocked(k entryKey) {
-	e, ok := c.entries[k]
+// NoteBypass records an invocation that skipped the cache entirely
+// (mutating method, non-deterministic method, or nocache-poisoned run).
+func (c *Cache) NoteBypass() {
+	c.bypass.Add(1)
+}
+
+// removeLocked unlinks an entry from all indexes. Caller holds s.mu.
+func (s *shard) removeLocked(k entryKey) {
+	e, ok := s.entries[k]
 	if !ok {
 		return
 	}
-	delete(c.entries, k)
-	c.lru.Remove(e.element)
-	if objSet, ok := c.byObject[k.object]; ok {
+	delete(s.entries, k)
+	s.lru.Remove(e.element)
+	if objSet, ok := s.byObject[k.object]; ok {
 		delete(objSet, k)
 		if len(objSet) == 0 {
-			delete(c.byObject, k.object)
+			delete(s.byObject, k.object)
 		}
 	}
 }
 
 // Len returns the number of live entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of cache counters.
+// Stats returns a merged snapshot of the per-shard counters. Shards are
+// sampled one at a time — the merge never holds more than one shard lock,
+// so a stats scrape cannot stall the whole cache. The snapshot is therefore
+// not a single atomic cut, which is fine for monitoring counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Validations += st.Validations
+		out.Stores += st.Stores
+		out.Evictions += st.Evictions
+		out.Invalidations += st.Invalidations
+	}
+	out.Bypass = c.bypass.Load()
+	return out
 }

@@ -444,12 +444,28 @@ func (r *runner) verify() error {
 			if !r.c.Alive(i) || !replicas[r.c.NodeAddr(i)] {
 				continue
 			}
-			v, err := r.c.slots[i].node.Runtime().GetValueField(obj, "log")
-			if err != nil {
-				return fmt.Errorf("object %d missing at replica %s: %w", obj, r.c.NodeAddr(i), err)
+			// Bounded retry: on a loaded single-core box the backup's
+			// apply goroutine can lag the primary's acknowledgement by a
+			// scheduling quantum; the write must still land within the
+			// window or it is genuinely lost.
+			where := fmt.Sprintf("object %d at replica %s (group primary=%s backups=%v)", obj, r.c.NodeAddr(i), g.Primary, g.Backups)
+			var checkErr error
+			for attempt := 0; attempt < 40; attempt++ {
+				if attempt > 0 {
+					time.Sleep(25 * time.Millisecond)
+				}
+				v, err := r.c.slots[i].node.Runtime().GetValueField(obj, "log")
+				if err != nil {
+					checkErr = fmt.Errorf("object %d missing at replica %s: %w", obj, r.c.NodeAddr(i), err)
+					continue
+				}
+				checkErr = requireAll(acked, DecodeLog(v), where)
+				if checkErr == nil {
+					break
+				}
 			}
-			if err := requireAll(acked, DecodeLog(v), fmt.Sprintf("object %d at replica %s (group primary=%s backups=%v)", obj, r.c.NodeAddr(i), g.Primary, g.Backups)); err != nil {
-				return err
+			if checkErr != nil {
+				return checkErr
 			}
 		}
 	}

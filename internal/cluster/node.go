@@ -256,7 +256,12 @@ func (n *Node) debugGauges() map[string]uint64 {
 		out["cache.misses"] = st.Misses
 		out["cache.validations"] = st.Validations
 		out["cache.evictions"] = st.Evictions
+		out["cache.bypass"] = st.Bypass
+		out["cache.invalidations"] = st.Invalidations
 	}
+	sch, scm := n.db.StateCacheStats()
+	out["store.state_cache_hits"] = sch
+	out["store.state_cache_misses"] = scm
 	warm, cold := n.rt.PoolStats()
 	out["core.pool_warm"] = warm
 	out["core.pool_cold"] = cold
@@ -521,8 +526,14 @@ func (n *Node) registerHandlers() {
 	n.srv.Handle(MethodStats, func(body []byte) ([]byte, error) {
 		inv, com := n.rt.Stats()
 		warm, cold := n.rt.PoolStats()
-		return []byte(fmt.Sprintf("addr=%s primary=%v invocations=%d commits=%d warm=%d cold=%d shipped=%d",
-			n.addr, n.isPrimary(), inv, com, warm, cold, n.shipper.Shipped())), nil
+		line := fmt.Sprintf("addr=%s primary=%v invocations=%d commits=%d warm=%d cold=%d shipped=%d",
+			n.addr, n.isPrimary(), inv, com, warm, cold, n.shipper.Shipped())
+		if c := n.rt.Cache(); c != nil {
+			st := c.Stats()
+			line += fmt.Sprintf(" cache_hits=%d cache_misses=%d cache_bypass=%d cache_invalidations=%d",
+				st.Hits, st.Misses, st.Bypass, st.Invalidations)
+		}
+		return []byte(line), nil
 	})
 }
 

@@ -142,7 +142,7 @@ func (iv *invocation) run() ([]byte, error) {
 	iv.rt.statsMu.Unlock()
 	defer iv.unlock()
 
-	inst, err := iv.rt.pool.get(iv.typ.Module)
+	inst, err := iv.rt.pool.get(iv.typ.Module, iv.method.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ func (iv *invocation) run() ([]byte, error) {
 		}
 	}
 	sp.FinishErr(callErr)
-	iv.rt.pool.put(iv.typ.Module, inst)
+	iv.rt.pool.put(iv.typ.Module, iv.method.Name, inst)
 
 	// Join any stragglers so goroutines never outlive the invocation.
 	iv.waitAsyncs()

@@ -6,39 +6,58 @@ import (
 	"lambdastore/internal/vm"
 )
 
-// instancePool recycles VM instances per module. A warm invocation pops a
-// pooled instance and Resets it (cheap: re-image memory); a cold one pays
-// full instantiation. The distinction mirrors serverless warm vs cold
-// starts (§2.1), and the pool exports counters so the Table-1 benchmark can
+// poolKey identifies one warm-instance lane: instances are pooled per
+// (module, method) rather than per module, so a method's working set —
+// allocation high-water mark, grown memory — is recycled by invocations
+// with the same footprint and the cheap reset zeroes exactly what that
+// method dirties.
+type poolKey struct {
+	module *vm.Module
+	method string
+}
+
+// instancePool recycles VM instances per (module, method). A warm
+// invocation pops a pooled instance and resets it — by default the cheap
+// dirty-region reset (vm.ResetFast), or the full memory re-image when
+// fullReset is set (the vmpool ablation) — while a cold one pays full
+// instantiation. The distinction mirrors serverless warm vs cold starts
+// (§2.1), and the pool exports counters so the Table-1 benchmark can
 // report both paths.
 type instancePool struct {
-	mu    sync.Mutex
-	idle  map[*vm.Module][]*vm.Instance
-	hosts *vm.HostTable
-	fuel  int64
+	mu        sync.Mutex
+	idle      map[poolKey][]*vm.Instance
+	hosts     *vm.HostTable
+	fuel      int64
+	fullReset bool
 
 	warm uint64
 	cold uint64
 }
 
-func newInstancePool(hosts *vm.HostTable, fuel int64) *instancePool {
+func newInstancePool(hosts *vm.HostTable, fuel int64, fullReset bool) *instancePool {
 	return &instancePool{
-		idle:  make(map[*vm.Module][]*vm.Instance),
-		hosts: hosts,
-		fuel:  fuel,
+		idle:      make(map[poolKey][]*vm.Instance),
+		hosts:     hosts,
+		fuel:      fuel,
+		fullReset: fullReset,
 	}
 }
 
-// get returns a ready instance for module.
-func (p *instancePool) get(module *vm.Module) (*vm.Instance, error) {
+// get returns a ready instance for (module, method).
+func (p *instancePool) get(module *vm.Module, method string) (*vm.Instance, error) {
+	k := poolKey{module: module, method: method}
 	p.mu.Lock()
-	list := p.idle[module]
+	list := p.idle[k]
 	if n := len(list); n > 0 {
 		inst := list[n-1]
-		p.idle[module] = list[:n-1]
+		p.idle[k] = list[:n-1]
 		p.warm++
 		p.mu.Unlock()
-		inst.Reset(p.fuel)
+		if p.fullReset {
+			inst.Reset(p.fuel)
+		} else {
+			inst.ResetFast(p.fuel)
+		}
 		return inst, nil
 	}
 	p.cold++
@@ -47,13 +66,14 @@ func (p *instancePool) get(module *vm.Module) (*vm.Instance, error) {
 }
 
 // put returns an instance for reuse.
-func (p *instancePool) put(module *vm.Module, inst *vm.Instance) {
+func (p *instancePool) put(module *vm.Module, method string, inst *vm.Instance) {
 	inst.Ctx = nil
+	k := poolKey{module: module, method: method}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	const maxIdlePerModule = 64
-	if len(p.idle[module]) < maxIdlePerModule {
-		p.idle[module] = append(p.idle[module], inst)
+	const maxIdlePerMethod = 64
+	if len(p.idle[k]) < maxIdlePerMethod {
+		p.idle[k] = append(p.idle[k], inst)
 	}
 }
 
@@ -64,9 +84,13 @@ func (p *instancePool) stats() (warm, cold uint64) {
 	return p.warm, p.cold
 }
 
-// drop empties the pool (used when a type is replaced).
+// drop empties every method lane of module (used when a type is replaced).
 func (p *instancePool) drop(module *vm.Module) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	delete(p.idle, module)
+	for k := range p.idle {
+		if k.module == module {
+			delete(p.idle, k)
+		}
+	}
 }

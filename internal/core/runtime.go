@@ -44,6 +44,18 @@ type Options struct {
 	// Cache enables the consistent result cache with the given capacity;
 	// 0 disables caching.
 	CacheEntries int
+	// CacheShards overrides the result cache's shard count (0 = default;
+	// 1 degenerates to a single global lock — the read-path ablation).
+	CacheShards int
+	// DisableReadFastPath forces read-only deterministic invocations
+	// through the full transactional machinery (write buffer, dirty-set
+	// commit checks) instead of the allocation-light read path. Ablation
+	// knob; production keeps the fast path on.
+	DisableReadFastPath bool
+	// FullVMReset makes warm instance reuse re-image the entire linear
+	// memory instead of zeroing only the dirtied region. Ablation knob;
+	// production uses the cheap reset.
+	FullVMReset bool
 	// Clock supplies the time host call; nil means time.Now-based.
 	Clock func() int64
 	// Invoker routes cross-object invocations; nil routes everything to
@@ -149,13 +161,13 @@ func NewRuntime(db *store.DB, opts Options) (*Runtime, error) {
 		rt.opts.Fuel = DefaultFuel
 	}
 	rt.hosts = newHostTable()
-	rt.pool = newInstancePool(rt.hosts, rt.opts.Fuel)
+	rt.pool = newInstancePool(rt.hosts, rt.opts.Fuel, opts.FullVMReset)
 	rt.locks = sched.NewTable()
 	if opts.LockTimeout > 0 {
 		rt.locks.Timeout = opts.LockTimeout
 	}
 	if opts.CacheEntries > 0 {
-		rt.cache = cache.New(opts.CacheEntries)
+		rt.cache = cache.NewSharded(opts.CacheEntries, opts.CacheShards)
 	}
 	if rt.opts.Clock == nil {
 		rt.opts.Clock = func() int64 { return time.Now().UnixNano() }
@@ -483,9 +495,18 @@ func (rt *Runtime) invokeCtx(id ObjectID, method string, args [][]byte, cc CallC
 		if rt.metrics != nil {
 			rt.metrics.cacheMisses.Inc()
 		}
+	} else if rt.cache != nil {
+		rt.cache.NoteBypass()
 	}
 
-	iv.txn = newTxn(rt.db, cacheable)
+	// Read-only invocations never commit, so they can skip the whole
+	// write-transaction apparatus: a pooled txn with no write buffer reads
+	// straight off the snapshot, and run() sees an always-clean dirty set.
+	if mi.ReadOnly && !rt.opts.DisableReadFastPath {
+		iv.txn = newReadTxn(rt.db, cacheable)
+	} else {
+		iv.txn = newTxn(rt.db, cacheable)
+	}
 	defer iv.txn.close()
 
 	result, err := iv.run()
@@ -495,6 +516,10 @@ func (rt *Runtime) invokeCtx(id ObjectID, method string, args [][]byte, cc CallC
 
 	if cacheable && !iv.nocache {
 		rt.cache.Store(uint64(id), method, argsHash, result, iv.txn.readSet)
+	} else if cacheable && rt.cache != nil {
+		// Eligible by signature but poisoned at runtime (clock, randomness,
+		// scans, cross-calls): a bypass, not a miss.
+		rt.cache.NoteBypass()
 	}
 	return result, nil
 }
@@ -514,11 +539,15 @@ func (rt *Runtime) dispatch(id ObjectID, method string, args [][]byte, cc CallCt
 // committedHash fingerprints the current committed value of key (cache
 // validation).
 func (rt *Runtime) committedHash(key []byte) uint64 {
-	v, err := rt.db.Get(key)
-	if err != nil {
-		return cache.HashValue(nil, false)
-	}
-	return cache.HashValue(v, true)
+	h := cache.HashValue(nil, false)
+	// VisitLatest hashes the committed value in place — validation never
+	// needs a copy of it.
+	_ = rt.db.VisitLatest(key, func(v []byte, present bool) {
+		if present {
+			h = cache.HashValue(v, true)
+		}
+	})
+	return h
 }
 
 // notifyCommit invalidates caches and fires the replication hook, passing

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"strings"
+	"sync"
 
 	"lambdastore/internal/cache"
 	"lambdastore/internal/store"
@@ -27,6 +28,9 @@ type txn struct {
 	recordReads bool
 	readSet     []cache.ReadDep
 	readKeys    map[string]struct{}
+
+	// pooled marks a read-path txn recycled through roTxnPool by close.
+	pooled bool
 }
 
 type bufferedWrite struct {
@@ -41,8 +45,24 @@ func newTxn(db *store.DB, recordReads bool) *txn {
 		db:          db,
 		writes:      make(map[string]bufferedWrite),
 		recordReads: recordReads,
-		readKeys:    map[string]struct{}{},
 	}
+}
+
+// roTxnPool recycles the read-path transactions; read-only invocations are
+// the overwhelming majority of Retwis traffic and their txns carry no
+// state worth keeping.
+var roTxnPool = sync.Pool{New: func() any { return new(txn) }}
+
+// newReadTxn opens the read-only fast-path transaction: no write buffer is
+// allocated (put/del create one lazily, only to let the read-only
+// enforcement in run() trip), and the struct itself is pooled. The caller
+// must close() it exactly once.
+func newReadTxn(db *store.DB, recordReads bool) *txn {
+	t := roTxnPool.Get().(*txn)
+	t.db = db
+	t.recordReads = recordReads
+	t.pooled = true
+	return t
 }
 
 // ensureSnap pins the read snapshot on first use.
@@ -52,11 +72,19 @@ func (t *txn) ensureSnap() {
 	}
 }
 
-// close releases the snapshot. Idempotent.
+// close releases the snapshot and, for fast-path txns, recycles the
+// struct. Idempotent for the non-pooled case; pooled txns must be closed
+// exactly once.
 func (t *txn) close() {
 	if t.snap != nil {
 		t.snap.Release()
 		t.snap = nil
+	}
+	if t.pooled {
+		// The readSet backing array may have been handed to cache.Store —
+		// drop the reference rather than reusing it.
+		*t = txn{}
+		roTxnPool.Put(t)
 	}
 }
 
@@ -89,6 +117,9 @@ func (t *txn) noteRead(key, value []byte, present bool) {
 	if _, seen := t.readKeys[string(key)]; seen {
 		return
 	}
+	if t.readKeys == nil {
+		t.readKeys = make(map[string]struct{}, 8)
+	}
 	t.readKeys[string(key)] = struct{}{}
 	t.readSet = append(t.readSet, cache.ReadDep{
 		Key:       append([]byte(nil), key...),
@@ -98,11 +129,17 @@ func (t *txn) noteRead(key, value []byte, present bool) {
 
 // put buffers a write.
 func (t *txn) put(key, value []byte) {
+	if t.writes == nil {
+		t.writes = make(map[string]bufferedWrite)
+	}
 	t.writes[string(key)] = bufferedWrite{value: append([]byte(nil), value...)}
 }
 
 // del buffers a delete.
 func (t *txn) del(key []byte) {
+	if t.writes == nil {
+		t.writes = make(map[string]bufferedWrite)
+	}
 	t.writes[string(key)] = bufferedWrite{del: true}
 }
 
@@ -131,9 +168,14 @@ func (t *txn) batch() *store.Batch {
 
 // reset clears buffered writes and drops the snapshot; the remainder of
 // the method re-pins a fresh snapshot after it is re-admitted (paper §3.1
-// treats the remainder as a separate invocation context).
+// treats the remainder as a separate invocation context). Deliberately not
+// close(): a pooled txn must stay out of roTxnPool until its deferred
+// close, since the invocation keeps using it.
 func (t *txn) reset() {
-	t.close()
+	if t.snap != nil {
+		t.snap.Release()
+		t.snap = nil
+	}
 	t.writes = make(map[string]bufferedWrite)
 }
 

@@ -57,6 +57,11 @@ type DB struct {
 
 	tcache *tableCache
 
+	// sc is the hot-object state cache (nil when disabled): a sharded LRU
+	// of committed key→value records write-through-updated by the commit
+	// paths. See statecache.go for the staleness protocol.
+	sc *stateCache
+
 	bgWork chan struct{}
 	bgQuit chan struct{}
 	bgDone chan struct{}
@@ -124,6 +129,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 	if opts.Metrics != nil {
 		db.metrics = newDBMetrics(opts.Metrics)
+	}
+	if opts.StateCacheEntries > 0 {
+		db.sc = newStateCache(opts.StateCacheEntries)
 	}
 	db.cond = sync.NewCond(&db.mu)
 
@@ -361,6 +369,9 @@ func (db *DB) writeSolo(b *Batch) error {
 	if err := b.apply(db.mem); err != nil {
 		return err
 	}
+	if db.sc != nil {
+		db.sc.applyBatch(b)
+	}
 	db.lastSeq += uint64(b.count)
 	return nil
 }
@@ -467,6 +478,11 @@ func (db *DB) commitGroup() {
 				// consumed either way, so later members stay consistent.
 				w.err = aerr
 			}
+			if db.sc != nil {
+				// Write-through before lastSeq advances, so no reader can
+				// pair the new sequence with a stale cached record.
+				db.sc.applyBatch(w.batch)
+			}
 			if m := db.metrics; m != nil {
 				m.writes.Inc()
 				m.walBytes.Add(uint64(len(records[i])))
@@ -566,14 +582,89 @@ func (db *DB) scheduleBackground() {
 
 // Get returns the value for key at the latest committed state.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	// State-cache fast path: any live entry is valid for the latest state
+	// (entries are write-through-updated before lastSeq advances), and the
+	// hit avoids db.mu entirely.
+	if db.sc != nil {
+		if val, present, ok := db.sc.lookup(key, ^uint64(0)); ok {
+			if !present {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
 	db.mu.Lock()
 	seq := db.lastSeq
+	var gen uint64
+	if db.sc != nil {
+		gen = db.sc.gen.Load()
+	}
 	db.mu.Unlock()
-	return db.getAt(key, seq)
+	return db.getAtFill(key, seq, gen)
 }
 
-// getAt reads key as of snapshot seq.
-func (db *DB) getAt(key []byte, seq uint64) ([]byte, error) {
+// VisitLatest calls fn with the current committed value of key (present
+// false when absent), avoiding the defensive copy Get makes: on a
+// state-cache hit fn observes the cached bytes in place, under the
+// cache's shard lock. fn must not retain or mutate the slice. This is the
+// result-cache validation path, which only hashes the value.
+func (db *DB) VisitLatest(key []byte, fn func(value []byte, present bool)) error {
+	if db.sc != nil && db.sc.visit(key, fn) {
+		return nil
+	}
+	// Miss: take the regular fill path (which populates the state cache)
+	// without re-probing the cache.
+	db.mu.Lock()
+	seq := db.lastSeq
+	var gen uint64
+	if db.sc != nil {
+		gen = db.sc.gen.Load()
+	}
+	db.mu.Unlock()
+	v, err := db.getAtFill(key, seq, gen)
+	if err != nil {
+		if err == ErrNotFound {
+			fn(nil, false)
+			return nil
+		}
+		return err
+	}
+	fn(v, true)
+	return nil
+}
+
+// getAt reads key as of snapshot seq. gen is the state-cache generation
+// captured together with seq (under db.mu), used to gate miss-path
+// population of the state cache.
+func (db *DB) getAt(key []byte, seq, gen uint64) ([]byte, error) {
+	if db.sc != nil {
+		if val, present, ok := db.sc.lookup(key, seq); ok {
+			if !present {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	return db.getAtFill(key, seq, gen)
+}
+
+// getAtFill performs the full lookup and populates the state cache when the
+// captured generation is still current (no commit raced the read).
+func (db *DB) getAtFill(key []byte, seq, gen uint64) ([]byte, error) {
+	val, err := db.getAtSlow(key, seq)
+	if db.sc != nil {
+		if err == nil {
+			db.sc.insert(key, val, true, seq, gen)
+		} else if err == ErrNotFound {
+			db.sc.insert(key, nil, false, seq, gen)
+		}
+	}
+	return val, err
+}
+
+// getAtSlow is the full LSM lookup: memtables, then L0 newest-first, then
+// binary search per deeper level.
+func (db *DB) getAtSlow(key []byte, seq uint64) ([]byte, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -655,6 +746,9 @@ func (db *DB) tableGet(t *tableMeta, lookup internalKey) (val []byte, done bool,
 type Snapshot struct {
 	db  *DB
 	seq uint64
+	// gen is the state-cache generation at snapshot creation; reads through
+	// the snapshot may populate the state cache only while it is unchanged.
+	gen uint64
 }
 
 // GetSnapshot returns a handle to the current state; callers must Release
@@ -663,11 +757,15 @@ func (db *DB) GetSnapshot() *Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.snaps[db.lastSeq]++
-	return &Snapshot{db: db, seq: db.lastSeq}
+	s := &Snapshot{db: db, seq: db.lastSeq}
+	if db.sc != nil {
+		s.gen = db.sc.gen.Load()
+	}
+	return s
 }
 
 // Get reads key at the snapshot.
-func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.db.getAt(key, s.seq) }
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.db.getAt(key, s.seq, s.gen) }
 
 // Seq exposes the snapshot's sequence number (used by tests).
 func (s *Snapshot) Seq() uint64 { return s.seq }
@@ -878,6 +976,15 @@ func (db *DB) BlockCacheStats() (hits, misses uint64) {
 		return 0, 0
 	}
 	return db.tcache.blocks.stats()
+}
+
+// StateCacheStats reports cumulative hot-object state cache hits and
+// misses (both zero when the cache is disabled).
+func (db *DB) StateCacheStats() (hits, misses uint64) {
+	if db.sc == nil {
+		return 0, 0
+	}
+	return db.sc.stats()
 }
 
 // TableCount returns the number of live tables per level (for tests and the

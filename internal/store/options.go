@@ -67,6 +67,12 @@ type Options struct {
 	// DisableCompaction turns off background compaction (used by tests to
 	// control table layout deterministically).
 	DisableCompaction bool
+	// StateCacheEntries bounds the hot-object state cache: a sharded LRU of
+	// committed key→value records consulted by Get/Snapshot.Get before the
+	// memtable/SSTable lookup and write-through-updated on commit. Zero
+	// picks the default; negative disables the cache (the read-path
+	// ablation).
+	StateCacheEntries int
 	// Metrics, if set, receives storage counters: batch writes, WAL bytes
 	// and syncs, memtable flushes, and compactions.
 	Metrics *telemetry.Registry
@@ -75,6 +81,7 @@ type Options struct {
 // NewOptions returns production defaults scaled for test-friendly sizes.
 func NewOptions() *Options {
 	return &Options{
+		StateCacheEntries:    16 << 10,
 		MemtableBytes:        4 << 20,
 		BlockBytes:           4 << 10,
 		BlockRestartInterval: 16,
@@ -96,6 +103,12 @@ func (o *Options) sanitize() *Options {
 	out := *o
 	if out.MemtableBytes <= 0 {
 		out.MemtableBytes = def.MemtableBytes
+	}
+	if out.StateCacheEntries == 0 {
+		out.StateCacheEntries = def.StateCacheEntries
+	}
+	if out.StateCacheEntries < 0 {
+		out.StateCacheEntries = 0
 	}
 	if out.BlockBytes <= 0 {
 		out.BlockBytes = def.BlockBytes

@@ -928,7 +928,7 @@ func TestGetSequencePointReads(t *testing.T) {
 		}
 	}
 	for i, seq := range seqs {
-		got, err := db.getAt([]byte("vk"), seq)
+		got, err := db.getAt([]byte("vk"), seq, 0)
 		if err != nil {
 			t.Fatalf("getAt(%d): %v", seq, err)
 		}

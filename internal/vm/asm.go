@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -37,9 +38,43 @@ func Assemble(src string) (*Module, error) {
 	var cur *Func
 	var curLabels map[string]int
 	curIndex := -1
+	// fuseBarrier is the lowest pc the peephole pass may fold into: label
+	// definitions seal everything before them so a fused instruction can
+	// never swallow a branch target.
+	fuseBarrier := 0
 
 	fail := func(lineNum int, format string, args ...any) error {
 		return fmt.Errorf("vm: asm line %d: %s", lineNum, fmt.Sprintf(format, args...))
+	}
+
+	// tryFuse runs the superinstruction peephole over the tail of the
+	// current function after each plain instruction is emitted:
+	//
+	//	push k; add            -> addi k
+	//	push k; sub            -> addi -k
+	//	local.get i; addi k; local.set i -> local.addi (i<<32|k)
+	//
+	// Together with the fused forms str/unpack.* emit directly, this
+	// collapses the hot load/append idioms into single dispatches.
+	tryFuse := func() {
+		code := cur.code
+		n := len(code)
+		if n < 2 || n-2 < fuseBarrier {
+			return
+		}
+		a, b := code[n-2], code[n-1]
+		switch {
+		case a.op == opPush && b.op == opAdd:
+			cur.code = append(code[:n-2], instr{op: opAddI, arg: a.arg})
+		case a.op == opPush && b.op == opSub && a.arg != math.MinInt64:
+			cur.code = append(code[:n-2], instr{op: opAddI, arg: -a.arg})
+		case a.op == opAddI && b.op == opLocalSet:
+			if n-3 >= fuseBarrier && code[n-3].op == opLocalGet && code[n-3].arg == b.arg &&
+				a.arg >= math.MinInt32 && a.arg <= math.MaxInt32 {
+				packed := b.arg<<32 | int64(uint32(int32(a.arg)))
+				cur.code = append(code[:n-3], instr{op: opLocalAddI, arg: packed})
+			}
+		}
 	}
 
 	lines := strings.Split(src, "\n")
@@ -68,6 +103,7 @@ func Assemble(src string) (*Module, error) {
 				return nil, fail(lineNum, "duplicate label %q", name)
 			}
 			curLabels[name] = len(cur.code)
+			fuseBarrier = len(cur.code)
 			continue
 		}
 
@@ -126,6 +162,7 @@ func Assemble(src string) (*Module, error) {
 			curIndex = len(m.Funcs) - 1
 			cur = &m.Funcs[curIndex]
 			curLabels = make(map[string]int)
+			fuseBarrier = 0
 
 		case "end":
 			if cur == nil {
@@ -170,27 +207,24 @@ func Assemble(src string) (*Module, error) {
 				m.Data = append(m.Data, lit...)
 				strIdx[lit] = off
 			}
+			// One fused push of the (ptr, len) pair; offsets and lengths
+			// are bounded by maxDataBytes, far inside 32 bits.
 			cur.code = append(cur.code,
-				instr{op: opPush, arg: int64(off)},
-				instr{op: opPush, arg: int64(len(lit))})
+				instr{op: opPushPair, arg: int64(off)<<32 | int64(len(lit))})
 
 		case "unpack.ptr":
 			// Pseudo-op: packed (ptr<<32|len) handle -> ptr.
 			if cur == nil {
 				return nil, fail(lineNum, "instruction outside function")
 			}
-			cur.code = append(cur.code,
-				instr{op: opPush, arg: 32},
-				instr{op: opShrU})
+			cur.code = append(cur.code, instr{op: opUnpackPtr})
 
 		case "unpack.len":
 			// Pseudo-op: packed (ptr<<32|len) handle -> len.
 			if cur == nil {
 				return nil, fail(lineNum, "instruction outside function")
 			}
-			cur.code = append(cur.code,
-				instr{op: opPush, arg: 0xffffffff},
-				instr{op: opAnd})
+			cur.code = append(cur.code, instr{op: opUnpackLen})
 
 		default:
 			if cur == nil {
@@ -228,6 +262,7 @@ func Assemble(src string) (*Module, error) {
 				}
 			}
 			cur.code = append(cur.code, in)
+			tryFuse()
 		}
 	}
 	if cur != nil {

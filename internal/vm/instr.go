@@ -75,20 +75,37 @@ const (
 	// Host interface.
 	opHostCall // operand: import index; arity defined by the host function
 
+	// Superinstructions: fused forms of the idioms hot bytecode (notably
+	// the Retwis get_timeline loop) executes constantly. They are emitted
+	// by the assembler — `str` compiles to one push2, the unpack pseudo-ops
+	// to one instruction each, and a peephole pass fuses immediate
+	// arithmetic — so interpreter dispatch and fuel accounting are paid
+	// once per idiom instead of once per component instruction. Appended
+	// after opHostCall so existing encoded modules keep their opcode
+	// values.
+	opPushPair  // operand: hi<<32|lo (both non-negative); pushes hi, then lo
+	opUnpackPtr // packed (ptr<<32|len) handle on TOS -> ptr
+	opUnpackLen // packed (ptr<<32|len) handle on TOS -> len
+	opAddI      // operand: immediate; TOS += imm
+	opLocalAddI // operand: local<<32|uint32(imm); locals[local] += imm
+
 	opMax // sentinel
 )
 
 // hasOperand reports which opcodes carry an immediate operand.
 var hasOperand = [opMax]bool{
-	opPush:     true,
-	opLocalGet: true,
-	opLocalSet: true,
-	opLocalTee: true,
-	opJmp:      true,
-	opJz:       true,
-	opJnz:      true,
-	opCall:     true,
-	opHostCall: true,
+	opPush:      true,
+	opLocalGet:  true,
+	opLocalSet:  true,
+	opLocalTee:  true,
+	opJmp:       true,
+	opJz:        true,
+	opJnz:       true,
+	opCall:      true,
+	opHostCall:  true,
+	opPushPair:  true,
+	opAddI:      true,
+	opLocalAddI: true,
 }
 
 // isBranch reports which opcodes have an instruction-index operand that
@@ -137,6 +154,11 @@ var opNames = [opMax]string{
 	opMemSize:     "memsize",
 	opMemGrow:     "memgrow",
 	opHostCall:    "hostcall",
+	opPushPair:    "push2",
+	opUnpackPtr:   "unpack_ptr",
+	opUnpackLen:   "unpack_len",
+	opAddI:        "addi",
+	opLocalAddI:   "local.addi",
 }
 
 // opByName is the reverse mapping used by the assembler.

@@ -39,6 +39,10 @@ type Instance struct {
 	fuel   int64
 	used   int64 // fuel consumed so far
 	brk    int   // bump-allocator watermark (starts after the data segment)
+	// hiWater is one past the highest memory byte written since the last
+	// reset (stores, host MemWrites). ResetFast zeroes only [data, hiWater)
+	// instead of re-imaging the whole linear memory.
+	hiWater int
 
 	// Ctx lets host functions carry per-invocation state (e.g. the storage
 	// transaction) without a global registry.
@@ -83,12 +87,46 @@ func (inst *Instance) Reset(fuel int64) {
 	for i := range inst.mem {
 		inst.mem[i] = 0
 	}
+	inst.resetCommon(fuel)
+}
+
+// ResetFast is Reset without the full memory re-image: only the region the
+// previous invocation actually dirtied — [len(Data), hiWater), as tracked
+// by the store opcodes and host MemWrite — is zeroed, and the data segment
+// is re-copied over any in-place corruption. A method that touches a few
+// KB of a 64 KB memory pays for a few KB. Isolation is preserved: every
+// write path through the instance raises hiWater, so no byte written by
+// the previous invocation survives.
+func (inst *Instance) ResetFast(fuel int64) {
+	if len(inst.mem) > inst.module.MinPages*PageBytes {
+		inst.mem = inst.mem[:inst.module.MinPages*PageBytes]
+	}
+	nd := len(inst.module.Data)
+	hi := inst.hiWater
+	if hi > len(inst.mem) {
+		hi = len(inst.mem)
+	}
+	for i := nd; i < hi; i++ {
+		inst.mem[i] = 0
+	}
+	inst.resetCommon(fuel)
+}
+
+func (inst *Instance) resetCommon(fuel int64) {
 	copy(inst.mem, inst.module.Data)
 	inst.stack = inst.stack[:0]
 	inst.fuel = fuel
 	inst.used = 0
 	inst.brk = (len(inst.module.Data) + 15) &^ 15
+	inst.hiWater = 0
 	inst.Ctx = nil
+}
+
+// noteWrite raises the dirty high-water mark consulted by ResetFast.
+func (inst *Instance) noteWrite(end int64) {
+	if int(end) > inst.hiWater {
+		inst.hiWater = int(end)
+	}
 }
 
 // FuelUsed returns the fuel consumed since instantiation or the last Reset.
@@ -111,6 +149,7 @@ func (inst *Instance) MemWrite(ptr int64, data []byte) error {
 		return ErrMemOutOfBounds
 	}
 	copy(inst.mem[ptr:], data)
+	inst.noteWrite(ptr + int64(len(data)))
 	return nil
 }
 
@@ -203,6 +242,7 @@ func (inst *Instance) run(entry frame) error {
 	for {
 		f := &frames[len(frames)-1]
 		code := f.fn.code
+		bfuel := f.fn.blockFuel
 		pc := f.pc
 
 	dispatch:
@@ -212,12 +252,21 @@ func (inst *Instance) run(entry frame) error {
 				// unreachable; guard anyway.
 				return trapf(f, pc, ErrUnreachable)
 			}
+			// Fuel is charged per basic block: block leaders carry the whole
+			// straight-line cost, every other pc charges nothing. A resume
+			// after call/ret lands mid-block on code already paid for at the
+			// leader. Exhaustion consumes the remainder so FuelUsed reports
+			// the full budget, as the per-instruction scheme did.
 			if metered {
-				if inst.fuel == 0 {
-					return trapf(f, pc, ErrOutOfFuel)
+				if bf := int64(bfuel[pc]); bf != 0 {
+					if inst.fuel < bf {
+						inst.used += inst.fuel
+						inst.fuel = 0
+						return trapf(f, pc, ErrOutOfFuel)
+					}
+					inst.fuel -= bf
+					inst.used += bf
 				}
-				inst.fuel--
-				inst.used++
 			}
 			in := code[pc]
 			switch in.op {
@@ -418,6 +467,7 @@ func (inst *Instance) run(entry frame) error {
 					return trapf(f, pc, ErrMemOutOfBounds)
 				}
 				inst.mem[addr] = byte(v)
+				inst.noteWrite(addr + 1)
 				pc++
 			case opStore64:
 				n := len(inst.stack)
@@ -431,6 +481,7 @@ func (inst *Instance) run(entry frame) error {
 					return trapf(f, pc, ErrMemOutOfBounds)
 				}
 				binary.LittleEndian.PutUint64(inst.mem[addr:], uint64(v))
+				inst.noteWrite(addr + 8)
 				pc++
 
 			case opMemSize:
@@ -478,6 +529,37 @@ func (inst *Instance) run(entry frame) error {
 					}
 					inst.stack = append(inst.stack, ret)
 				}
+				pc++
+
+			case opPushPair:
+				if len(inst.stack)+1 >= maxValueStack {
+					return trapf(f, pc, ErrStackOverflow)
+				}
+				inst.stack = append(inst.stack, in.arg>>32, in.arg&0xffffffff)
+				pc++
+			case opUnpackPtr:
+				n := len(inst.stack)
+				if n <= f.base {
+					return trapf(f, pc, ErrStackUnderflow)
+				}
+				inst.stack[n-1] = int64(uint64(inst.stack[n-1]) >> 32)
+				pc++
+			case opUnpackLen:
+				n := len(inst.stack)
+				if n <= f.base {
+					return trapf(f, pc, ErrStackUnderflow)
+				}
+				inst.stack[n-1] &= 0xffffffff
+				pc++
+			case opAddI:
+				n := len(inst.stack)
+				if n <= f.base {
+					return trapf(f, pc, ErrStackUnderflow)
+				}
+				inst.stack[n-1] += in.arg
+				pc++
+			case opLocalAddI:
+				f.locals[in.arg>>32] += int64(int32(in.arg & 0xffffffff))
 				pc++
 
 			default:

@@ -37,6 +37,11 @@ type Func struct {
 	NumLocals int // locals beyond the parameters, zero-initialized
 	Exported  bool
 	code      []instr
+	// blockFuel, aligned with code, carries the fuel cost of the basic
+	// block starting at each instruction (0 for non-leaders). The
+	// interpreter charges fuel once per block entry instead of once per
+	// instruction. Computed by Validate.
+	blockFuel []int32
 }
 
 // Module is a validated unit of guest code: a set of functions, the host
@@ -147,6 +152,10 @@ func (m *Module) Validate() error {
 				if in.arg < 0 || in.arg >= nLocals {
 					return fmt.Errorf("%w: func %q pc %d: local %d out of range", ErrBadModule, f.Name, pc, in.arg)
 				}
+			case in.op == opLocalAddI:
+				if idx := in.arg >> 32; idx < 0 || idx >= nLocals {
+					return fmt.Errorf("%w: func %q pc %d: local %d out of range", ErrBadModule, f.Name, pc, idx)
+				}
 			case in.op == opCall:
 				if in.arg < 0 || in.arg >= int64(len(m.Funcs)) {
 					return fmt.Errorf("%w: func %q pc %d: call target %d out of range", ErrBadModule, f.Name, pc, in.arg)
@@ -163,8 +172,37 @@ func (m *Module) Validate() error {
 		if last != opRet && last != opHalt && last != opJmp && last != opUnreachable {
 			return fmt.Errorf("%w: func %q may fall off the end", ErrBadModule, f.Name)
 		}
+		f.blockFuel = computeBlockFuel(f.code)
 	}
 	return nil
+}
+
+// computeBlockFuel splits code into basic blocks and returns a slice,
+// aligned with code, holding each block leader's instruction count (zero
+// for non-leaders). Leaders are instruction 0, every branch target, and
+// the instruction after every branch; a block's cost is the straight-line
+// instruction count up to (exclusive) the next leader, so the interpreter
+// charges a block's whole cost once on entry. Calls and host calls do not
+// end blocks: execution resumes mid-block at pc+1, which was already paid
+// for at the leader.
+func computeBlockFuel(code []instr) []int32 {
+	leader := make([]bool, len(code)+1)
+	leader[0] = true
+	for pc, in := range code {
+		if isBranch[in.op] {
+			leader[in.arg] = true
+			leader[pc+1] = true
+		}
+	}
+	out := make([]int32, len(code))
+	start := 0
+	for pc := 1; pc <= len(code); pc++ {
+		if leader[pc] {
+			out[start] = int32(pc - start)
+			start = pc
+		}
+	}
+	return out
 }
 
 // Encode serializes the module. The binary form is what LambdaStore stores
