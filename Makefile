@@ -7,12 +7,13 @@
 #   make bench   telemetry hot-path benchmarks (must report 0 allocs/op)
 #   make bench-write  write-path batched-vs-unbatched comparison (JSON artifact)
 #   make bench-read   read-path per-layer ablation sweep (JSON artifact)
+#   make bench-recovery  rejoin cost, digest diff vs full resync (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write bench-read vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read bench-recovery vet check clean
 
 all: build
 
@@ -48,6 +49,12 @@ bench-write:
 # Retwis GetTimeline over a hot account set at 1/8/64 clients.
 bench-read:
 	$(GO) run ./cmd/lambda-bench -read-path -ops 4000 -out results/BENCH_read_path.json
+
+# Rejoin cost: a crashed backup catches up via range-digest diff vs the
+# full-resync ablation, across store sizes and downtime divergence. The
+# artifact shows streamed bytes track divergence, not store size.
+bench-recovery:
+	$(GO) run ./cmd/lambda-bench -recovery -out results/BENCH_recovery.json
 
 vet:
 	@fmt_out=$$(gofmt -l .); \

@@ -9,6 +9,7 @@
 //	lambda-bench -ablation netdelay       A5: network-delay sweep
 //	lambda-bench -write-path              batched vs unbatched write pipeline
 //	lambda-bench -read-path               read-path layer ablations (GetTimeline)
+//	lambda-bench -recovery                rejoin cost: digest diff vs full resync
 //	lambda-bench -all                     everything
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		dataRoot    = flag.String("data", "", "scratch directory root")
 		writePath   = flag.Bool("write-path", false, "run the batched-vs-unbatched write-path benchmark (fsync per commit)")
 		readPath    = flag.Bool("read-path", false, "run the read-path ablation sweep (GetTimeline at 1/8/64 clients)")
+		recov       = flag.Bool("recovery", false, "run the rejoin benchmark (range-digest diff vs full resync)")
 		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -126,6 +128,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunReadPath(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: read-path: %v", err)
+		}
+		fmt.Println()
+	}
+	if *recov {
+		ran = true
+		if _, err := bench.RunRecovery(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: recovery: %v", err)
 		}
 		fmt.Println()
 	}

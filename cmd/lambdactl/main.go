@@ -35,8 +35,11 @@ import (
 	"time"
 
 	"lambdastore/internal/cluster"
+	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
 	"lambdastore/internal/retwis"
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/shard"
 	"lambdastore/internal/telemetry"
 	"lambdastore/internal/vm"
 )
@@ -57,6 +60,11 @@ Commands:
                   [-trace ID] [-min DUR]     (filter one trace / slow spans)
   fault           -debug HOST:PORT [CMD...]  show the fault plane (no CMD),
                   [-file SCRIPT]             apply one command, or POST a script
+  recovery        -debug HOST:PORT,...       show each node's rejoin state and
+                                             donor catch-up sessions
+  set-group       -coordinators HOST:PORT,... -group N -primary HOST:PORT
+                  [-backups HOST:PORT,...]   install a replica group on a live
+                                             coordinator (cluster bootstrap)
   asm             -file SRC [-o OUT]         assemble a guest module
   disasm          -file MOD                  disassemble a guest module`)
 	os.Exit(2)
@@ -90,6 +98,12 @@ func main() {
 		return
 	case "fault":
 		runFault(rest)
+		return
+	case "recovery":
+		runRecovery(rest)
+		return
+	case "set-group":
+		runSetGroup(rest)
 		return
 	case "stats":
 		// With -debug, stats reads the HTTP endpoints and needs no cluster
@@ -287,6 +301,112 @@ func runFault(args []string) {
 		log.Fatalf("lambdactl: %v", err)
 	}
 	os.Stdout.Write(body)
+}
+
+// recoveryEnvelope mirrors the /recovery JSON response.
+type recoveryEnvelope struct {
+	Rejoin struct {
+		Self              string  `json:"self"`
+		State             string  `json:"state"`
+		Donor             string  `json:"donor"`
+		Attempts          uint64  `json:"attempts"`
+		Rejoins           uint64  `json:"rejoins"`
+		LastError         string  `json:"last_error"`
+		LastRejoinSeconds float64 `json:"last_rejoin_seconds"`
+		RangesDiverged    uint64  `json:"ranges_diverged"`
+		BytesStreamed     uint64  `json:"bytes_streamed"`
+		ChunksApplied     uint64  `json:"chunks_applied"`
+	} `json:"rejoin"`
+	DonorSessions []struct {
+		Joiner     string  `json:"joiner"`
+		Epoch      uint64  `json:"epoch"`
+		Strict     bool    `json:"strict"`
+		Forwarded  uint64  `json:"forwarded"`
+		Gaps       uint64  `json:"gaps"`
+		AgeSeconds float64 `json:"age_seconds"`
+	} `json:"donor_sessions"`
+}
+
+// runRecovery prints each node's anti-entropy picture: where its own
+// rejoin state machine sits (with cumulative catch-up telemetry) and any
+// catch-up sessions it is currently donating to.
+func runRecovery(args []string) {
+	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "", "comma-separated debug HTTP addresses (required)")
+	fs.Parse(args)
+	if *debugAddrs == "" {
+		log.Fatal("lambdactl: recovery needs -debug")
+	}
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet("http://" + addr + "/recovery")
+		if err != nil {
+			fmt.Printf("== %s: unreachable (%v)\n", addr, err)
+			continue
+		}
+		var env recoveryEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			log.Fatalf("lambdactl: %s: bad /recovery response: %v", addr, err)
+		}
+		r := env.Rejoin
+		fmt.Printf("== %s (%s)\n", addr, r.Self)
+		fmt.Printf("  state=%s attempts=%d rejoins=%d", r.State, r.Attempts, r.Rejoins)
+		if r.Donor != "" {
+			fmt.Printf(" donor=%s", r.Donor)
+		}
+		fmt.Println()
+		if r.Rejoins > 0 {
+			fmt.Printf("  last rejoin: %.3fs, %d ranges diverged, %d chunks, %d bytes streamed\n",
+				r.LastRejoinSeconds, r.RangesDiverged, r.ChunksApplied, r.BytesStreamed)
+		}
+		if r.LastError != "" {
+			fmt.Printf("  last error: %s\n", r.LastError)
+		}
+		if len(env.DonorSessions) == 0 {
+			fmt.Println("  donating to: (none)")
+			continue
+		}
+		for _, s := range env.DonorSessions {
+			mode := "buffering"
+			if s.Strict {
+				mode = "strict"
+			}
+			fmt.Printf("  donating to %s: epoch=%d mode=%s forwarded=%d gaps=%d age=%.1fs\n",
+				s.Joiner, s.Epoch, mode, s.Forwarded, s.Gaps, s.AgeSeconds)
+		}
+	}
+}
+
+// runSetGroup installs (or replaces) one replica group on a live
+// coordinator quorum — the bootstrap step for a coordinator-managed
+// cluster, where nodes start with no static -config and learn their
+// role from the directory.
+func runSetGroup(args []string) {
+	fs := flag.NewFlagSet("set-group", flag.ExitOnError)
+	coords := fs.String("coordinators", "", "comma-separated coordinator addresses (required)")
+	gid := fs.Uint64("group", 0, "replica group id")
+	primary := fs.String("primary", "", "primary node address (required)")
+	backups := fs.String("backups", "", "comma-separated backup node addresses")
+	fs.Parse(args)
+	if *coords == "" || *primary == "" {
+		log.Fatal("lambdactl: set-group needs -coordinators and -primary")
+	}
+	g := shard.Group{ID: *gid, Primary: *primary}
+	for _, b := range strings.Split(*backups, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			g.Backups = append(g.Backups, b)
+		}
+	}
+	pool := rpc.NewPool(nil)
+	defer pool.Close()
+	cc := coordinator.NewClient(pool, strings.Split(*coords, ","))
+	if err := cc.SetGroup(g); err != nil {
+		log.Fatalf("lambdactl: set-group: %v", err)
+	}
+	fmt.Printf("group %d: primary %s, backups %v\n", g.ID, g.Primary, g.Backups)
 }
 
 // tracesEnvelope mirrors the /traces JSON response.

@@ -36,6 +36,9 @@ func main() {
 		tracing    = flag.Bool("trace", false, "record per-stage spans for every traced invocation")
 		traceBuf   = flag.Int("trace-buffer", 0, "span ring-buffer size (0 = default)")
 		slow       = flag.Duration("slow", 0, "log invocations slower than this (0 disables)")
+		rejoin     = flag.Bool("rejoin", false, "anti-entropy rejoin: when deposed from the group, catch up from the primary via range digests and re-admit through the coordinator")
+		recRate    = flag.Int("recovery-rate", 0, "rejoin catch-up streaming rate limit in bytes/sec (0 = unlimited)")
+		recFull    = flag.Bool("recovery-full-resync", false, "ablation: stream every object on rejoin instead of only digest-divergent ranges")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -52,10 +55,13 @@ func main() {
 			Fuel:         *fuel,
 			CacheEntries: *cacheSize,
 		},
-		DebugAddr:          *debugAddr,
-		Tracing:            *tracing,
-		TraceBufferSize:    *traceBuf,
-		SlowTraceThreshold: *slow,
+		DebugAddr:              *debugAddr,
+		Tracing:                *tracing,
+		TraceBufferSize:        *traceBuf,
+		SlowTraceThreshold:     *slow,
+		Rejoin:                 *rejoin,
+		RecoveryMaxBytesPerSec: *recRate,
+		RecoveryFullResync:     *recFull,
 	}
 	if *configPath != "" {
 		cfg, err := cluster.LoadConfigFile(*configPath)
@@ -69,6 +75,9 @@ func main() {
 	}
 	if *coords != "" {
 		opts.Coordinators = strings.Split(*coords, ",")
+	}
+	if *rejoin && len(opts.Coordinators) == 0 {
+		log.Fatal("lambdastore: -rejoin needs a coordinator (-coordinators or a config with one)")
 	}
 
 	node, err := cluster.StartNode(opts)

@@ -35,6 +35,13 @@ type Options struct {
 	// ClientRetries bounds the cluster client's per-invoke retry loop
 	// (default 4; recovery loops retry whole invokes on top).
 	ClientRetries int
+	// RejoinFullResync ablates the nodes' anti-entropy digest diff:
+	// catch-up streams the donor's whole store regardless of divergence
+	// (the recovery bench's baseline mode).
+	RejoinFullResync bool
+	// RejoinMaxBytesPerSec rate-limits recovery chunk streaming on every
+	// node (0 = unlimited).
+	RejoinMaxBytesPerSec int
 }
 
 func (o *Options) defaults() {
@@ -125,14 +132,7 @@ func Start(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		slot := &nodeSlot{dataDir: dataDir}
-		node, err := cluster.StartNode(cluster.NodeOptions{
-			Addr:              "127.0.0.1:0",
-			DataDir:           dataDir,
-			Store:             &store.Options{SyncWrites: true},
-			GroupID:           0,
-			Coordinators:      c.coordAddrs,
-			HeartbeatInterval: opts.HeartbeatInterval,
-		})
+		node, err := cluster.StartNode(c.nodeOptions("127.0.0.1:0", dataDir))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("chaos: start node %d: %w", i, err)
@@ -233,29 +233,89 @@ func (c *Cluster) Kill(i int) error {
 	return err
 }
 
+// nodeOptions builds the one NodeOptions every harness node (initial
+// start and restart) uses: durable WAL, coordinator-managed, and the
+// anti-entropy rejoin manager armed so any node that finds itself
+// outside its group catches up from the primary and re-admits itself.
+func (c *Cluster) nodeOptions(addr, dataDir string) cluster.NodeOptions {
+	return cluster.NodeOptions{
+		Addr:                   addr,
+		DataDir:                dataDir,
+		Store:                  &store.Options{SyncWrites: true},
+		GroupID:                0,
+		Coordinators:           c.coordAddrs,
+		HeartbeatInterval:      c.opts.HeartbeatInterval,
+		Rejoin:                 true,
+		RecoveryFullResync:     c.opts.RejoinFullResync,
+		RecoveryMaxBytesPerSec: c.opts.RejoinMaxBytesPerSec,
+	}
+}
+
 // Restart brings a killed node back on its original address and data
 // directory: state recovers from the WAL and SSTs, heartbeats resume.
-// The node rejoins as a spare — it is NOT re-added to the group, because
-// writes acknowledged during its downtime are missing from its store
-// and there is no anti-entropy backfill (ROADMAP) to catch it up.
+// The node comes up as a spare, then its recovery manager notices it is
+// not a member, catches up from the group's primary (range digests +
+// chunk streaming) and re-admits it as a backup through the
+// coordinator; WaitBackup observes the re-admission.
 func (c *Cluster) Restart(i int) error {
 	s := c.slots[i]
 	if s.node != nil {
 		return fmt.Errorf("chaos: node %d already up", i)
 	}
-	node, err := cluster.StartNode(cluster.NodeOptions{
-		Addr:              s.addr,
-		DataDir:           s.dataDir,
-		Store:             &store.Options{SyncWrites: true},
-		GroupID:           0,
-		Coordinators:      c.coordAddrs,
-		HeartbeatInterval: c.opts.HeartbeatInterval,
-	})
+	node, err := cluster.StartNode(c.nodeOptions(s.addr, s.dataDir))
 	if err != nil {
 		return fmt.Errorf("chaos: restart node %d: %w", i, err)
 	}
 	s.node = node
 	return nil
+}
+
+// Node returns node i's live handle (nil while down) — recovery status
+// and store probes for tests and the recovery bench.
+func (c *Cluster) Node(i int) *cluster.Node { return c.slots[i].node }
+
+// WaitBackup blocks until node i is a backup of group 0 on the
+// coordinator majority's view (a completed rejoin).
+func (c *Cluster) WaitBackup(i int, timeout time.Duration) error {
+	return c.waitGroup(timeout, fmt.Sprintf("node %d to rejoin as backup", i), func(g shard.Group) bool {
+		for _, b := range g.Backups {
+			if b == c.slots[i].addr {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// WaitEvicted blocks until node i is neither primary nor backup of
+// group 0 (the failure detector noticed its death).
+func (c *Cluster) WaitEvicted(i int, timeout time.Duration) error {
+	return c.waitGroup(timeout, fmt.Sprintf("node %d to be evicted", i), func(g shard.Group) bool {
+		if g.Primary == c.slots[i].addr {
+			return false
+		}
+		for _, b := range g.Backups {
+			if b == c.slots[i].addr {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// waitGroup polls the coordinator majority's group 0 view until cond.
+func (c *Cluster) waitGroup(timeout time.Duration, what string, cond func(shard.Group) bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		g, err := c.Group()
+		if err == nil && cond(g) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: waiting for %s: timed out (group %+v, err %v)", what, g, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // Group returns the current group 0 configuration as the coordinator

@@ -33,6 +33,12 @@ const (
 	// at-least-once probing; the ledger may grow duplicate entries but
 	// must lose nothing.
 	ScenarioDupDelay
+	// ScenarioRestartRejoin kills a backup, writes through its downtime,
+	// restarts it and waits for anti-entropy rejoin, then kills its way
+	// down to the rejoined node as sole survivor: the final promotion
+	// fails over ONTO the rejoined replica, so every acknowledged write —
+	// including the downtime ones it caught up on — must be served by it.
+	ScenarioRestartRejoin
 
 	numScenarios
 )
@@ -44,6 +50,7 @@ var AllScenarios = []Scenario{
 	ScenarioWALSyncFail,
 	ScenarioHeartbeatLoss,
 	ScenarioDupDelay,
+	ScenarioRestartRejoin,
 }
 
 func (s Scenario) String() string {
@@ -58,6 +65,8 @@ func (s Scenario) String() string {
 		return "heartbeat-loss"
 	case ScenarioDupDelay:
 		return "dup-delay"
+	case ScenarioRestartRejoin:
+		return "restart-rejoin"
 	}
 	return fmt.Sprintf("scenario(%d)", int(s))
 }
@@ -80,6 +89,9 @@ type RunOptions struct {
 	// PromoteTimeout bounds the wait for an expected promotion to land
 	// on a coordinator majority (default 10s).
 	PromoteTimeout time.Duration
+	// RejoinTimeout bounds the wait for a restarted replica's
+	// anti-entropy catch-up to end in re-admission (default 30s).
+	RejoinTimeout time.Duration
 	// Log, if set, receives progress lines (t.Logf fits).
 	Log func(format string, args ...any)
 }
@@ -96,6 +108,9 @@ func (o *RunOptions) defaults() {
 	}
 	if o.PromoteTimeout <= 0 {
 		o.PromoteTimeout = 10 * time.Second
+	}
+	if o.RejoinTimeout <= 0 {
+		o.RejoinTimeout = 30 * time.Second
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -254,6 +269,9 @@ func (r *runner) burst(n int) {
 // runScenario performs one inject → fault burst → (await promotion) →
 // heal → bounded-recovery cycle.
 func (r *runner) runScenario(s Scenario) error {
+	if s == ScenarioRestartRejoin {
+		return r.runRestartRejoin()
+	}
 	r.burst(r.opts.BurstOps)
 
 	pi, err := r.c.PrimaryIndex()
@@ -325,6 +343,139 @@ func (r *runner) runScenario(s Scenario) error {
 	}
 	r.opts.Log("chaos: %s healed; recovered after %d write attempts", s, attempts)
 	return nil
+}
+
+// runRestartRejoin drives the anti-entropy rejoin scenario: kill a
+// backup, write through its downtime, restart it and wait for digest
+// catch-up to end in re-admission, then remove every other member so
+// the final promotion has no choice but the rejoined replica. Writes
+// acknowledged afterwards are served by a node whose only copy of the
+// downtime history came through recovery streaming — the schedule's
+// end-of-run verifier then proves none were lost.
+func (r *runner) runRestartRejoin() error {
+	// Earlier scenarios heal by restarting nodes whose rejoin may still
+	// be in flight; deterministic roles need full membership first.
+	if err := r.waitFullMembership(); err != nil {
+		return err
+	}
+	r.burst(r.opts.BurstOps)
+
+	pi, err := r.c.PrimaryIndex()
+	if err != nil {
+		return fmt.Errorf("resolve primary: %w", err)
+	}
+	g, err := r.c.Group()
+	if err != nil {
+		return err
+	}
+	backups := make([]int, 0, len(g.Backups))
+	for i := 0; i < r.c.Nodes(); i++ {
+		for _, b := range g.Backups {
+			if r.c.NodeAddr(i) == b {
+				backups = append(backups, i)
+			}
+		}
+	}
+	if len(backups) == 0 {
+		return fmt.Errorf("no backup to restart")
+	}
+	bi := backups[r.rng.intn(len(backups))]
+
+	// Kill the chosen backup and wait for its eviction: only then do
+	// writes acknowledge again, and those acks are the downtime history
+	// the restarted node must recover without having seen.
+	if err := r.c.Kill(bi); err != nil {
+		return err
+	}
+	if err := r.c.WaitEvicted(bi, r.opts.PromoteTimeout); err != nil {
+		return err
+	}
+	r.burst(r.opts.BurstOps)
+
+	r.opts.Log("chaos: restarting node %d, awaiting anti-entropy rejoin", bi)
+	if err := r.c.Restart(bi); err != nil {
+		return err
+	}
+	if err := r.c.WaitBackup(bi, r.opts.RejoinTimeout); err != nil {
+		return err
+	}
+	r.burst(r.opts.BurstOps)
+
+	// Strip the group down to the rejoined node: every other backup
+	// first (evictions, no promotion)...
+	killed := []int{}
+	for _, oi := range backups {
+		if oi == bi {
+			continue
+		}
+		if err := r.c.Kill(oi); err != nil {
+			return err
+		}
+		if err := r.c.WaitEvicted(oi, r.opts.PromoteTimeout); err != nil {
+			return err
+		}
+		killed = append(killed, oi)
+	}
+	r.burst(r.opts.BurstOps)
+
+	// ...then the primary: the only promotion candidate left is the
+	// rejoined replica.
+	if err := r.c.Kill(pi); err != nil {
+		return err
+	}
+	killed = append(killed, pi)
+	r.report.ExpectedPromotions++
+	if err := r.awaitPromotions(r.report.ExpectedPromotions); err != nil {
+		return err
+	}
+	if g, err = r.c.Group(); err != nil {
+		return err
+	}
+	if g.Primary != r.c.NodeAddr(bi) {
+		return fmt.Errorf("failover went to %s, not the rejoined node %s", g.Primary, r.c.NodeAddr(bi))
+	}
+	r.opts.Log("chaos: rejoined node %d promoted to primary", bi)
+
+	// Heal: restart the dead nodes (their managers re-admit them) and
+	// require bounded recovery like every other scenario.
+	for _, i := range killed {
+		if err := r.c.Restart(i); err != nil {
+			return err
+		}
+	}
+	attempts, err := r.awaitWrite()
+	r.report.RecoveryAttempts = append(r.report.RecoveryAttempts, attempts)
+	if err != nil {
+		return fmt.Errorf("availability not restored after %d attempts: %w", attempts, err)
+	}
+	for _, i := range killed {
+		if err := r.c.WaitBackup(i, r.opts.RejoinTimeout); err != nil {
+			return err
+		}
+	}
+	r.opts.Log("chaos: restart-rejoin healed; recovered after %d write attempts", attempts)
+	return nil
+}
+
+// waitFullMembership blocks until every harness node is alive and a
+// member of group 0 (pending heal-time rejoins have completed).
+func (r *runner) waitFullMembership() error {
+	for i := 0; i < r.c.Nodes(); i++ {
+		if !r.c.Alive(i) {
+			return fmt.Errorf("node %d is down at scenario start", i)
+		}
+	}
+	deadline := time.Now().Add(r.opts.RejoinTimeout)
+	for {
+		g, err := r.c.Group()
+		if err == nil && g.Primary != "" && len(g.Backups) == r.c.Nodes()-1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("full membership never restored (group %+v, err %v)", g, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // awaitPromotions waits until a majority of coordinator replicas have

@@ -10,6 +10,7 @@ import (
 	"lambdastore/internal/core"
 	"lambdastore/internal/debug"
 	"lambdastore/internal/fault"
+	"lambdastore/internal/recovery"
 	"lambdastore/internal/replication"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
@@ -60,6 +61,19 @@ type NodeOptions struct {
 	// DisableRPCCoalescing turns off per-connection coalescing of this
 	// node's outbound response writes. Used by the write-path ablation.
 	DisableRPCCoalescing bool
+	// Rejoin enables the anti-entropy recovery manager: whenever this
+	// node is not a member of its group (a restarted replica), it syncs
+	// from the group's primary via range digests and re-admits itself
+	// through the coordinator. Requires Coordinators.
+	Rejoin bool
+	// RecoveryBuckets overrides the digest bucket fan-out (0 = default).
+	RecoveryBuckets int
+	// RecoveryMaxBytesPerSec rate-limits recovery chunk streaming
+	// (0 = unlimited).
+	RecoveryMaxBytesPerSec int
+	// RecoveryFullResync ablates the digest diff: catch-up streams every
+	// object the donor holds regardless of divergence (bench baseline).
+	RecoveryFullResync bool
 }
 
 // Node is one LambdaStore storage node: it persists objects, executes
@@ -75,6 +89,10 @@ type Node struct {
 	pool    *rpc.Pool
 	shipper *replication.Shipper
 	coord   *coordinator.Client
+
+	donor         *recovery.Donor
+	recmgr        *recovery.Manager
+	recmgrStarted bool
 
 	dir    atomic.Pointer[shard.Directory]
 	stopMu sync.Mutex
@@ -145,6 +163,12 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		// the ack (paper §4.2.1 — no acknowledged write may be lost to a
 		// failover); the coordinator evicts the dead backup and the client
 		// retries into the reconfigured group.
+		//
+		// The commit guard brackets ship+forward against rejoin admission:
+		// while a joiner's cutover reconfigures the group, no commit can
+		// slip between "session retired" and "shipper covers the joiner".
+		release := n.donor.GuardCommit()
+		defer release()
 		sp := n.tracer.StartSpan(ctx, "replicate")
 		shipCtx := sp.Context()
 		if !shipCtx.Valid() {
@@ -152,13 +176,44 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		}
 		err := n.shipper.ShipCtx(shipCtx, uint64(obj), ws)
 		sp.FinishErr(err)
-		return err
+		if err != nil {
+			return err
+		}
+		// Relay the commit to any joiner mid-catch-up (strict sessions
+		// withhold the ack on failure, exactly like a real backup).
+		return n.donor.ForwardCommit(uint64(obj), ws)
 	}
 	n.rt, err = core.NewRuntime(db, rtOpts)
 	if err != nil {
 		db.Close()
 		return nil, err
 	}
+
+	// Recovery plane: every node can donate state (it may be primary at
+	// any point in its life) and serve the joiner side of commit
+	// forwarding; the manager's watch loop only runs with Rejoin set.
+	n.donor = recovery.NewDonor(recovery.DonorOptions{
+		DB:        db,
+		Pool:      n.pool,
+		Epoch:     func() uint64 { return n.dir.Load().Epoch() },
+		IsPrimary: n.isPrimary,
+		Admit:     n.admitJoiner,
+		Metrics:   reg,
+	})
+	n.recmgr = recovery.NewManager(recovery.ManagerOptions{
+		GroupID: opts.GroupID,
+		Pool:    n.pool,
+		DB:      db,
+		Apply: func(object uint64, b *store.Batch) error {
+			return n.rt.ApplyReplicated(core.ObjectID(object), b)
+		},
+		Directory:      func() *shard.Directory { return n.dir.Load() },
+		ReloadTypes:    n.rt.ReloadTypes,
+		Buckets:        opts.RecoveryBuckets,
+		MaxBytesPerSec: opts.RecoveryMaxBytesPerSec,
+		FullResync:     opts.RecoveryFullResync,
+		Metrics:        reg,
+	})
 
 	n.registerHandlers()
 	addr, err := n.srv.Serve(opts.Addr)
@@ -168,6 +223,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	}
 	n.addr = addr
 	tracer.SetNode(addr)
+	n.recmgr.SetSelf(addr)
 	// Identify this node's outbound connections to the fault plane so link
 	// partitions can name both endpoints.
 	n.pool.SetFaultLabel(addr)
@@ -184,6 +240,12 @@ func StartNode(opts NodeOptions) (*Node, error) {
 			Gauges:   n.debugGauges,
 			Health:   n.health,
 			Faults:   true,
+			Recovery: func() any {
+				return map[string]any{
+					"rejoin":         n.recmgr.Status(),
+					"donor_sessions": n.donor.Sessions(),
+				}
+			},
 		})
 		if err != nil {
 			n.srv.Close()
@@ -204,7 +266,53 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	} else {
 		close(n.done)
 	}
+	if opts.Rejoin && len(opts.Coordinators) > 0 {
+		n.recmgrStarted = true
+		go n.recmgr.Run()
+	}
 	return n, nil
+}
+
+// admitJoiner is the donor's cutover callback: propose the epoch-fenced
+// configuration change re-adding the joiner, then confirm it took and
+// refresh this node's view so the shipper covers the joiner before the
+// commit fence is released.
+func (n *Node) admitJoiner(joiner string, expectEpoch uint64) error {
+	if n.coord == nil {
+		return fmt.Errorf("cluster: no coordinator to admit %s through", joiner)
+	}
+	if err := n.coord.AddBackup(n.opts.GroupID, joiner, expectEpoch); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d, err := n.coord.GetConfig()
+		if err == nil {
+			for _, g := range d.Groups() {
+				if g.ID != n.opts.GroupID {
+					continue
+				}
+				for _, b := range g.Backups {
+					if b == joiner {
+						n.SetDirectory(d)
+						return nil
+					}
+				}
+			}
+			if d.Epoch() > expectEpoch {
+				// The replica we read has applied past the fence point and
+				// the joiner is not in the group: the epoch fence rejected
+				// the proposal (the configuration changed under the
+				// session). The joiner re-syncs against the new one.
+				return fmt.Errorf("cluster: admission of %s fenced out at epoch %d (expected %d)",
+					joiner, d.Epoch(), expectEpoch)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: admission of %s did not take effect (epoch %d)", joiner, expectEpoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // Addr returns the node's RPC address.
@@ -242,6 +350,16 @@ func (n *Node) DebugAddr() string {
 	}
 	return n.debugSrv.Addr()
 }
+
+// RecoveryStatus snapshots the node's rejoin state machine (tests,
+// tools, bench).
+func (n *Node) RecoveryStatus() recovery.Status { return n.recmgr.Status() }
+
+// RecoveryState returns the rejoin state machine's current position.
+func (n *Node) RecoveryState() recovery.State { return n.recmgr.State() }
+
+// DonorSessions lists this node's active donor-side catch-up sessions.
+func (n *Node) DonorSessions() []recovery.SessionStatus { return n.donor.Sessions() }
 
 // debugGauges contributes point-in-time values the registry does not track
 // as counters: cache hit rates read from their owners on demand.
@@ -363,6 +481,9 @@ func (n *Node) Close() error {
 	}
 	n.stopMu.Unlock()
 	<-n.done
+	if n.recmgrStarted {
+		n.recmgr.Close()
+	}
 	if n.debugSrv != nil {
 		n.debugSrv.Close()
 	}
@@ -412,6 +533,9 @@ func (n *Node) registerHandlers() {
 		},
 		n.rt.ApplyReplicatedBulk), n.tracer, n.metrics,
 		func() uint64 { return n.dir.Load().Epoch() })
+
+	recovery.RegisterDonor(n.srv, n.donor)
+	n.recmgr.RegisterForward(n.srv)
 
 	n.srv.Handle(MethodPing, func(body []byte) ([]byte, error) {
 		return []byte(n.addr), nil

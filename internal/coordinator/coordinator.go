@@ -30,6 +30,12 @@ const (
 	// FailedPrimary name the victim) so strict primary-backup shipping can
 	// acknowledge writes again without it.
 	cmdEvictBackup
+	// cmdAddBackup re-admits a caught-up node (NewPrimary is the joiner's
+	// address) as a backup of GroupID — the spare→member transition of the
+	// anti-entropy rejoin protocol. Guarded by Epoch: if the directory
+	// moved since the donor certified the joiner, the admission no-ops and
+	// the joiner must re-sync against the new configuration.
+	cmdAddBackup
 )
 
 // Command is one replicated configuration change.
@@ -48,6 +54,11 @@ type Command struct {
 	// cmdSetOverride / cmdClearOverride
 	Object      uint64
 	TargetGroup uint64
+
+	// Epoch is cmdAddBackup's fence: the directory epoch the admission
+	// was certified against (0 = unguarded). Encoded last so older
+	// frames (which never carried it) would simply read absent.
+	Epoch uint64
 }
 
 // Encode serializes the command.
@@ -65,6 +76,7 @@ func (c *Command) Encode() []byte {
 	b = wire.AppendString(b, c.NewPrimary)
 	b = wire.AppendUvarint(b, c.Object)
 	b = wire.AppendUvarint(b, c.TargetGroup)
+	b = wire.AppendUvarint(b, c.Epoch)
 	return b
 }
 
@@ -105,7 +117,10 @@ func DecodeCommand(data []byte) (*Command, error) {
 	if c.Object, rest, err = wire.Uvarint(rest); err != nil {
 		return nil, err
 	}
-	if c.TargetGroup, _, err = wire.Uvarint(rest); err != nil {
+	if c.TargetGroup, rest, err = wire.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if c.Epoch, _, err = wire.Uvarint(rest); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -134,6 +149,7 @@ type Service struct {
 	applied  uint64
 	promotes map[uint64]uint64 // group -> effective (guard-matched) promotions
 	evicts   map[uint64]uint64 // group -> effective backup evictions
+	rejoins  map[uint64]uint64 // group -> effective backup re-admissions
 
 	stop chan struct{}
 	done chan struct{}
@@ -155,6 +171,7 @@ func New(id uint64, peers []uint64, trans paxos.Transport, opts Options) *Servic
 		lastSeen: make(map[string]time.Time),
 		promotes: make(map[uint64]uint64),
 		evicts:   make(map[uint64]uint64),
+		rejoins:  make(map[uint64]uint64),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -209,6 +226,17 @@ func (s *Service) apply(slot uint64, value []byte) {
 	case cmdEvictBackup:
 		if s.dir.EvictBackup(c.GroupID, c.FailedPrimary) {
 			s.evicts[c.GroupID]++
+		}
+	case cmdAddBackup:
+		// Epoch fence: the admission was certified against a specific
+		// configuration; any reconfiguration since (failover, eviction)
+		// invalidates the certification, so the command no-ops and the
+		// joiner re-syncs against the new configuration.
+		if c.Epoch != 0 && s.dir.Epoch() != c.Epoch {
+			return
+		}
+		if s.dir.AddBackup(c.GroupID, c.NewPrimary) {
+			s.rejoins[c.GroupID]++
 		}
 	case cmdSetOverride:
 		s.dir.SetOverride(c.Object, c.TargetGroup)
@@ -359,6 +387,17 @@ func (s *Service) EvictCounts() map[uint64]uint64 {
 	return out
 }
 
+// RejoinCounts returns effective backup re-admissions applied per group.
+func (s *Service) RejoinCounts() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64, len(s.rejoins))
+	for g, n := range s.rejoins {
+		out[g] = n
+	}
+	return out
+}
+
 // --- RPC surface ---
 
 // RPC method names.
@@ -368,6 +407,7 @@ const (
 	MethodSetGroup  = "coord.setgroup"
 	MethodPromote   = "coord.promote"
 	MethodMigrate   = "coord.migrate"
+	MethodAddBackup = "coord.addbackup"
 )
 
 // RegisterServer exposes the coordinator's client API and its Paxos roles
@@ -401,6 +441,14 @@ func RegisterServer(srv *rpc.Server, s *Service) {
 			return nil, err
 		}
 		c.Kind = cmdPromote
+		return nil, s.ProposeCommand(c)
+	})
+	srv.Handle(MethodAddBackup, func(body []byte) ([]byte, error) {
+		c, err := DecodeCommand(body)
+		if err != nil {
+			return nil, err
+		}
+		c.Kind = cmdAddBackup
 		return nil, s.ProposeCommand(c)
 	})
 	srv.Handle(MethodMigrate, func(body []byte) ([]byte, error) {
@@ -479,6 +527,16 @@ func (c *Client) SetGroup(g shard.Group) error {
 func (c *Client) Promote(gid uint64, failedPrimary, newPrimary string) error {
 	cmd := Command{Kind: cmdPromote, GroupID: gid, FailedPrimary: failedPrimary, NewPrimary: newPrimary}
 	_, err := c.call(MethodPromote, cmd.Encode())
+	return err
+}
+
+// AddBackup proposes re-admitting a caught-up joiner as a backup of
+// group gid, fenced on expectEpoch (the epoch the catch-up was
+// certified against; 0 = unfenced). The proposal landing does not mean
+// it took effect — callers confirm by reading the configuration back.
+func (c *Client) AddBackup(gid uint64, joiner string, expectEpoch uint64) error {
+	cmd := Command{Kind: cmdAddBackup, GroupID: gid, NewPrimary: joiner, Epoch: expectEpoch}
+	_, err := c.call(MethodAddBackup, cmd.Encode())
 	return err
 }
 

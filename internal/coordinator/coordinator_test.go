@@ -36,13 +36,14 @@ func TestCommandRoundTrip(t *testing.T) {
 		NewPrimary:    "b:1",
 		Object:        42,
 		TargetGroup:   1,
+		Epoch:         9,
 	}
 	dec, err := DecodeCommand(c.Encode())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dec.Kind != cmdPromote || dec.GroupID != 3 || dec.FailedPrimary != "p:1" ||
-		dec.NewPrimary != "b:1" || dec.Object != 42 || dec.TargetGroup != 1 {
+		dec.NewPrimary != "b:1" || dec.Object != 42 || dec.TargetGroup != 1 || dec.Epoch != 9 {
 		t.Fatalf("decoded %+v", dec)
 	}
 	if len(dec.Group.Backups) != 2 || dec.Group.Primary != "p:1" {
@@ -113,6 +114,70 @@ func TestOverrideCommands(t *testing.T) {
 	g, _ = services[2].Directory().Lookup(4)
 	if g.ID != 0 {
 		t.Fatalf("after clear: %d", g.ID)
+	}
+}
+
+// TestAddBackupEpochFence covers the rejoin admission command: a fence
+// matching the current epoch admits the joiner; a stale fence (the
+// configuration changed since the catch-up was certified) is a no-op;
+// re-admitting an existing member is idempotent; a zero fence is
+// unguarded.
+func TestAddBackupEpochFence(t *testing.T) {
+	services, _ := newCluster(t, 3, Options{DisableFailureDetector: true})
+	g := shard.Group{ID: 0, Primary: "p", Backups: []string{"b1"}}
+	if err := services[0].ProposeCommand(&Command{Kind: cmdSetGroup, Group: g}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := services[0].Directory().Epoch()
+
+	// Matching fence: the joiner becomes a backup on every replica.
+	if err := services[0].ProposeCommand(&Command{Kind: cmdAddBackup, GroupID: 0, NewPrimary: "b2", Epoch: epoch}); err != nil {
+		t.Fatal(err)
+	}
+	for i, svc := range services {
+		got, err := svc.Directory().Lookup(0)
+		if err != nil || len(got.Backups) != 2 || got.Backups[1] != "b2" {
+			t.Fatalf("replica %d after admit: %+v %v", i, got, err)
+		}
+	}
+	if got := services[0].RejoinCounts()[0]; got != 1 {
+		t.Fatalf("rejoins = %d, want 1", got)
+	}
+
+	// Stale fence: the epoch moved when b2 was admitted, so an admission
+	// certified against the old configuration must not take effect.
+	if err := services[1].ProposeCommand(&Command{Kind: cmdAddBackup, GroupID: 0, NewPrimary: "b3", Epoch: epoch}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := services[0].Directory().Lookup(0)
+	for _, b := range got.Backups {
+		if b == "b3" {
+			t.Fatalf("stale-fenced admission took effect: %+v", got)
+		}
+	}
+	if got := services[0].RejoinCounts()[0]; got != 1 {
+		t.Fatalf("rejoins after fenced no-op = %d, want 1", got)
+	}
+
+	// Duplicate admission at the current epoch: idempotent no-op.
+	cur := services[0].Directory().Epoch()
+	if err := services[0].ProposeCommand(&Command{Kind: cmdAddBackup, GroupID: 0, NewPrimary: "b2", Epoch: cur}); err != nil {
+		t.Fatal(err)
+	}
+	if got := services[0].RejoinCounts()[0]; got != 1 {
+		t.Fatalf("rejoins after duplicate = %d, want 1", got)
+	}
+
+	// Zero fence: unguarded, applies regardless of epoch drift.
+	if err := services[2].ProposeCommand(&Command{Kind: cmdAddBackup, GroupID: 0, NewPrimary: "b3"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = services[1].Directory().Lookup(0)
+	if len(got.Backups) != 3 || got.Backups[2] != "b3" {
+		t.Fatalf("unfenced admission: %+v", got)
+	}
+	if got := services[2].RejoinCounts()[0]; got != 2 {
+		t.Fatalf("rejoins after unfenced = %d, want 2", got)
 	}
 }
 

@@ -217,6 +217,48 @@ func (rt *Runtime) loadTypes() error {
 	return it.Error()
 }
 
+// ReloadTypes re-reads the persisted type records and replaces the
+// installed set. Anti-entropy recovery calls it after syncing the meta
+// range from a donor, making types that were deployed during the
+// node's downtime dispatchable without a restart.
+func (rt *Runtime) ReloadTypes() error {
+	fresh := make(map[string]*ObjectType)
+	it, err := rt.db.NewIterator()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	prefix := []byte{keyPrefixType}
+	for it.Seek(prefix); it.Valid(); it.Next() {
+		k := it.Key()
+		if len(k) == 0 || k[0] != keyPrefixType {
+			break
+		}
+		t, err := DecodeObjectType(it.Value())
+		if err != nil {
+			return fmt.Errorf("core: corrupt type record %q: %w", k, err)
+		}
+		fresh[t.Name] = t
+	}
+	if err := it.Error(); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	for name, old := range rt.types {
+		if nw, ok := fresh[name]; !ok || nw.Module != old.Module {
+			rt.pool.drop(old.Module)
+		}
+	}
+	rt.types = fresh
+	rt.mu.Unlock()
+	// Bindings may point at replaced *ObjectType values; re-resolve lazily.
+	rt.objTypes.Range(func(k, v any) bool {
+		rt.objTypes.Delete(k)
+		return true
+	})
+	return nil
+}
+
 // RegisterType persists and installs an object type. Re-registering a name
 // replaces the previous definition (a deployment of new code).
 func (rt *Runtime) RegisterType(t *ObjectType) error {

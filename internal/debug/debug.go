@@ -45,6 +45,9 @@ type Options struct {
 	// process-global, so on a node with Faults enabled this endpoint is
 	// the live-cluster counterpart of the chaos harness.
 	Faults bool
+	// Recovery, if set, backs /recovery: the node's anti-entropy rejoin
+	// state machine and active donor sessions, as JSON.
+	Recovery func() any
 }
 
 // Server is a running debug HTTP endpoint.
@@ -74,6 +77,12 @@ func Start(addr string, o Options) (*Server, error) {
 	})
 	if o.Faults {
 		mux.HandleFunc("/faults", serveFaults)
+	}
+	if o.Recovery != nil {
+		mux.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(o.Recovery())
+		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -45,6 +45,11 @@ const (
 	SiteWALSync        = "wal.sync"        // key: database directory
 	SiteReplShip       = "repl.ship"       // key: backup address
 	SiteCoordHeartbeat = "coord.heartbeat" // key: heartbeating node's address
+	// Anti-entropy recovery sites (internal/recovery): chunk fetches are
+	// evaluated on the joiner before applying, forwards on the donor
+	// before relaying a committed write-set to a syncing joiner.
+	SiteRecoveryFetch   = "recovery.fetch"   // key: donor address
+	SiteRecoveryForward = "recovery.forward" // key: joiner address
 )
 
 // Action is what an armed rule does when it fires.

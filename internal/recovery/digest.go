@@ -1,0 +1,193 @@
+// Package recovery implements LambdaStore's anti-entropy rejoin
+// subsystem: a restarted (or brand-new) storage node catches up to a
+// live replica group and is re-admitted as a full backup.
+//
+// The protocol has three layers (DESIGN.md §11):
+//
+//  1. Range digests. Donor and joiner each hash their committed latest
+//     state per object range, fold the per-object digests into a small
+//     fixed number of bucket hashes, and exchange only those. Matching
+//     buckets are skipped wholesale; mismatched buckets drill down to
+//     per-object digests, so the bytes transferred scale with the
+//     divergence between the replicas, not with the store size.
+//
+//  2. Snapshot + delta streaming. Each divergent object range streams
+//     from the current primary in bounded chunks served off a storage
+//     snapshot and applied through the runtime's replicated-apply path
+//     (one group commit per chunk). Writes that land during the
+//     transfer are forwarded by the donor and buffered by the joiner,
+//     so the joiner converges instead of chasing a moving target.
+//
+//  3. Coordinator-driven rejoin. Once a digest round is clean under
+//     gap-free forwarding, the donor proposes an epoch-guarded
+//     configuration change re-adding the joiner as a backup. Until
+//     that config lands the joiner is not a group member, so the
+//     existing routing fence rejects its reads and no write is ever
+//     acknowledged by it — a half-synced node can never serve early.
+package recovery
+
+import (
+	"encoding/binary"
+
+	"lambdastore/internal/store"
+)
+
+// DefaultBuckets is the bucket-hash fan-out of a digest exchange: small
+// enough that the first round trip is a few hundred bytes, large enough
+// that a single divergent object drills into ~1/64th of the id space.
+const DefaultBuckets = 64
+
+const (
+	// objectKeyPrefix mirrors core's key layout ('o' + big-endian id +
+	// suffix). recovery reads raw store keys, so it needs the prefix but
+	// not the per-field suffix structure.
+	objectKeyPrefix = 'o'
+	fnvOffset       = 0xcbf29ce484222325
+	fnvPrime        = 0x100000001b3
+)
+
+// DigestTable is one replica's committed-state summary: a digest per
+// object range, the bucket folds exchanged first, and a digest of the
+// meta range (type records — every key below the object keyspace).
+type DigestTable struct {
+	Buckets []uint64
+	Objects map[uint64]uint64
+	Meta    uint64
+}
+
+// hashEntry folds one (key, value) pair into h, FNV-1a style with
+// length separators so (k="ab", v="c") never collides with (k="a",
+// v="bc").
+func hashEntry(h uint64, key, value []byte) uint64 {
+	h = (h ^ uint64(len(key))) * fnvPrime
+	for _, c := range key {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	h = (h ^ uint64(len(value))) * fnvPrime
+	for _, c := range value {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// mix64 is a splitmix64 finalizer: it decorrelates the (id, digest)
+// pairs before they are XOR-folded into a bucket, so two objects with
+// related digests cannot cancel each other out.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// bucketOf places an object id into a bucket.
+func bucketOf(id uint64, buckets int) int { return int(id % uint64(buckets)) }
+
+// foldObject is the contribution of one (id, digest) pair to its
+// bucket hash. XOR-folding makes the bucket hash order-independent, so
+// donor and joiner need not enumerate objects in the same order.
+func foldObject(id, digest uint64) uint64 { return mix64(id*fnvPrime ^ digest) }
+
+// BuildDigest scans a consistent snapshot of db and summarizes its
+// committed latest state: a chained hash per object key range (the scan
+// is key-ordered, so chaining is deterministic), the bucket folds, and
+// the meta-range digest. Cost is one sequential iteration — the same
+// work a full resync would pay per byte, paid once to avoid shipping
+// the bytes.
+func BuildDigest(db *store.DB, buckets int) (*DigestTable, error) {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	t := &DigestTable{
+		Buckets: make([]uint64, buckets),
+		Objects: make(map[uint64]uint64),
+	}
+	snap := db.GetSnapshot()
+	defer snap.Release()
+	it, err := snap.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	var (
+		curID     uint64
+		curHash   uint64 = fnvOffset
+		inObject  bool
+		metaHash  uint64 = fnvOffset
+		metaSeen  bool
+		flushCurr = func() {
+			if inObject {
+				t.Objects[curID] = curHash
+				t.Buckets[bucketOf(curID, buckets)] ^= foldObject(curID, curHash)
+			}
+			inObject = false
+			curHash = fnvOffset
+		}
+	)
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := it.Key()
+		if len(k) >= 9 && k[0] == objectKeyPrefix {
+			id := binary.BigEndian.Uint64(k[1:9])
+			if !inObject || id != curID {
+				flushCurr()
+				curID = id
+				inObject = true
+			}
+			curHash = hashEntry(curHash, k, it.Value())
+			continue
+		}
+		if k[0] < objectKeyPrefix {
+			metaHash = hashEntry(metaHash, k, it.Value())
+			metaSeen = true
+		}
+	}
+	flushCurr()
+	if err := it.Error(); err != nil {
+		return nil, err
+	}
+	if metaSeen {
+		t.Meta = metaHash
+	}
+	return t, nil
+}
+
+// DiffBuckets returns the bucket indexes whose folds differ between the
+// two tables (the joiner's drill-down set).
+func DiffBuckets(local, remote []uint64) []uint64 {
+	n := len(local)
+	if len(remote) < n {
+		n = len(remote)
+	}
+	var out []uint64
+	for i := 0; i < n; i++ {
+		if local[i] != remote[i] {
+			out = append(out, uint64(i))
+		}
+	}
+	return out
+}
+
+// ObjectDiff compares per-object digests within the drilled-down
+// buckets: sync lists objects the joiner must re-fetch (missing here or
+// divergent), drop lists objects present locally but absent at the
+// donor (deleted during the downtime).
+func ObjectDiff(local *DigestTable, remoteIDs, remoteDigests []uint64, bucketSet map[uint64]bool, buckets int) (sync, drop []uint64) {
+	remote := make(map[uint64]uint64, len(remoteIDs))
+	for i, id := range remoteIDs {
+		remote[id] = remoteDigests[i]
+	}
+	for id, dig := range remote {
+		if have, ok := local.Objects[id]; !ok || have != dig {
+			sync = append(sync, id)
+		}
+	}
+	for id := range local.Objects {
+		if !bucketSet[uint64(bucketOf(id, buckets))] {
+			continue
+		}
+		if _, ok := remote[id]; !ok {
+			drop = append(drop, id)
+		}
+	}
+	return sync, drop
+}

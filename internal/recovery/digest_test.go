@@ -1,0 +1,279 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lambdastore/internal/store"
+)
+
+func openStore(t *testing.T) *store.DB {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func objKey(id uint64, suffix string) []byte {
+	k := make([]byte, 9, 9+len(suffix))
+	k[0] = objectKeyPrefix
+	binary.BigEndian.PutUint64(k[1:], id)
+	return append(k, suffix...)
+}
+
+// seedStores fills both stores with the same objects and meta records.
+func seedStores(t *testing.T, dbs []*store.DB, objects int, r *rand.Rand) {
+	t.Helper()
+	for _, db := range dbs {
+		for id := uint64(1); id <= uint64(objects); id++ {
+			for f := 0; f < 3; f++ {
+				k := objKey(id, fmt.Sprintf("f%d", f))
+				v := []byte(fmt.Sprintf("v-%d-%d", id, f))
+				if err := db.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for m := 0; m < 4; m++ {
+			if err := db.Put([]byte(fmt.Sprintf("Ttype%d", m)), []byte(fmt.Sprintf("def%d", m))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = r
+}
+
+// diff runs the joiner-side diff pipeline: bucket compare, drill-down,
+// object diff. It returns the sync and drop id sets plus whether the
+// meta range diverged.
+func diff(t *testing.T, joiner, donor *store.DB, buckets int) (sync, drop map[uint64]bool, meta bool) {
+	t.Helper()
+	local, err := BuildDigest(joiner, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := BuildDigest(donor, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergent := DiffBuckets(local.Buckets, remote.Buckets)
+	bucketSet := make(map[uint64]bool, len(divergent))
+	for _, b := range divergent {
+		bucketSet[b] = true
+	}
+	var ids, digs []uint64
+	for id, dg := range remote.Objects {
+		if bucketSet[uint64(bucketOf(id, buckets))] {
+			ids = append(ids, id)
+			digs = append(digs, dg)
+		}
+	}
+	syncIDs, dropIDs := ObjectDiff(local, ids, digs, bucketSet, buckets)
+	sync = make(map[uint64]bool)
+	for _, id := range syncIDs {
+		sync[id] = true
+	}
+	drop = make(map[uint64]bool)
+	for _, id := range dropIDs {
+		drop[id] = true
+	}
+	return sync, drop, local.Meta != remote.Meta
+}
+
+// copyRange replaces dst's [start, end) with src's (the syncRange
+// semantics, minus the RPC).
+func copyRange(t *testing.T, dst, src *store.DB, start, end []byte) {
+	t.Helper()
+	b := store.NewBatch()
+	for _, db := range []*store.DB{dst, src} {
+		snap := db.GetSnapshot()
+		it, err := snap.NewIterator()
+		if err != nil {
+			snap.Release()
+			t.Fatal(err)
+		}
+		if len(start) == 0 {
+			it.SeekToFirst()
+		} else {
+			it.Seek(start)
+		}
+		for ; it.Valid(); it.Next() {
+			k := it.Key()
+			if len(end) > 0 && string(k) >= string(end) {
+				break
+			}
+			if db == dst {
+				b.Delete(append([]byte(nil), k...))
+			} else {
+				b.Put(append([]byte(nil), k...), append([]byte(nil), it.Value()...))
+			}
+		}
+		it.Close()
+		snap.Release()
+	}
+	if err := dst.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDigestIdenticalStores: same contents, any bucket count, zero diff.
+func TestDigestIdenticalStores(t *testing.T) {
+	donor, joiner := openStore(t), openStore(t)
+	r := rand.New(rand.NewSource(7))
+	seedStores(t, []*store.DB{donor, joiner}, 32, r)
+	for _, buckets := range []int{1, 8, DefaultBuckets, 1024} {
+		sync, drop, meta := diff(t, joiner, donor, buckets)
+		if len(sync) != 0 || len(drop) != 0 || meta {
+			t.Fatalf("buckets=%d: identical stores diverged: sync=%v drop=%v meta=%v",
+				buckets, sync, drop, meta)
+		}
+	}
+}
+
+// TestDigestDiffProperty mutates the joiner randomly and checks the
+// diff pipeline finds exactly the divergent objects, across seeds and
+// bucket counts (including heavy bucket collisions).
+func TestDigestDiffProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		buckets := []int{2, 16, DefaultBuckets}[r.Intn(3)]
+		donor, joiner := openStore(t), openStore(t)
+		const objects = 40
+		seedStores(t, []*store.DB{donor, joiner}, objects, r)
+
+		// Random divergence on the joiner; wantSync tracks objects whose
+		// joiner copy differs from the donor's, wantDrop objects only the
+		// joiner has.
+		wantSync := make(map[uint64]bool)
+		wantDrop := make(map[uint64]bool)
+		for i := 0; i < 12; i++ {
+			id := uint64(r.Intn(objects) + 1)
+			switch r.Intn(5) {
+			case 0: // value changed (a write the joiner missed, inverted)
+				if err := joiner.Put(objKey(id, "f0"), []byte(fmt.Sprintf("stale-%d", r.Int()))); err != nil {
+					t.Fatal(err)
+				}
+				wantSync[id] = true
+			case 1: // extra key only the joiner has
+				if err := joiner.Put(objKey(id, "zz-extra"), []byte("ghost")); err != nil {
+					t.Fatal(err)
+				}
+				wantSync[id] = true
+			case 2: // key missing at the joiner
+				if err := joiner.Delete(objKey(id, "f1")); err != nil {
+					t.Fatal(err)
+				}
+				wantSync[id] = true
+			case 3: // whole object missing at the joiner (created in downtime)
+				nid := uint64(objects + 1 + r.Intn(16))
+				if err := donor.Put(objKey(nid, "f0"), []byte("new")); err != nil {
+					t.Fatal(err)
+				}
+				wantSync[nid] = true
+				delete(wantDrop, nid)
+			case 4: // object only the joiner has (deleted in downtime)
+				nid := uint64(objects + 100 + r.Intn(16))
+				if !wantSync[nid] {
+					if err := joiner.Put(objKey(nid, "f0"), []byte("dead")); err != nil {
+						t.Fatal(err)
+					}
+					wantDrop[nid] = true
+				}
+			}
+		}
+		// Meta divergence half the time.
+		wantMeta := r.Intn(2) == 0
+		if wantMeta {
+			if err := donor.Put([]byte("Ttype9"), []byte("deployed-in-downtime")); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		sync, drop, meta := diff(t, joiner, donor, buckets)
+		if meta != wantMeta {
+			t.Fatalf("seed %d buckets %d: meta diverged=%v, want %v", seed, buckets, meta, wantMeta)
+		}
+		for id := range wantSync {
+			if !sync[id] {
+				t.Fatalf("seed %d buckets %d: divergent object %d not flagged for sync (got %v)", seed, buckets, id, sync)
+			}
+		}
+		for id := range wantDrop {
+			if !drop[id] {
+				t.Fatalf("seed %d buckets %d: extra object %d not flagged for drop (got %v)", seed, buckets, id, drop)
+			}
+		}
+		// No false positives: every flagged object really diverged.
+		for id := range sync {
+			if !wantSync[id] {
+				t.Fatalf("seed %d buckets %d: clean object %d flagged for sync", seed, buckets, id)
+			}
+		}
+		for id := range drop {
+			if !wantDrop[id] {
+				t.Fatalf("seed %d buckets %d: clean object %d flagged for drop", seed, buckets, id)
+			}
+		}
+
+		// Repairing exactly the flagged ranges converges the stores.
+		for id := range sync {
+			start, end := objectRange(id)
+			copyRange(t, joiner, donor, start, end)
+		}
+		for id := range drop {
+			start, end := objectRange(id)
+			b := store.NewBatch()
+			snap := joiner.GetSnapshot()
+			it, err := snap.NewIterator()
+			if err != nil {
+				snap.Release()
+				t.Fatal(err)
+			}
+			for it.Seek(start); it.Valid(); it.Next() {
+				k := it.Key()
+				if string(k) >= string(end) {
+					break
+				}
+				b.Delete(append([]byte(nil), k...))
+			}
+			it.Close()
+			snap.Release()
+			if !b.Empty() {
+				if err := joiner.Write(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if meta {
+			copyRange(t, joiner, donor, nil, metaRangeEnd())
+		}
+		sync, drop, meta = diff(t, joiner, donor, buckets)
+		if len(sync) != 0 || len(drop) != 0 || meta {
+			t.Fatalf("seed %d buckets %d: repair did not converge: sync=%v drop=%v meta=%v",
+				seed, buckets, sync, drop, meta)
+		}
+	}
+}
+
+// TestObjectRangeBounds pins the per-object key range arithmetic,
+// including the id overflow carry.
+func TestObjectRangeBounds(t *testing.T) {
+	for _, id := range []uint64{0, 1, 255, 256, 1<<32 - 1, 1 << 32, ^uint64(0) - 1, ^uint64(0)} {
+		start, end := objectRange(id)
+		key := objKey(id, "field")
+		if string(key) < string(start) || string(key) >= string(end) {
+			t.Fatalf("id %d: key %x outside [%x, %x)", id, key, start, end)
+		}
+		if id < ^uint64(0) {
+			next := objKey(id+1, "")
+			if string(next) < string(end) {
+				t.Fatalf("id %d: next object %x inside range ending %x", id, next, end)
+			}
+		}
+	}
+}

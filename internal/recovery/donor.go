@@ -1,0 +1,491 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdastore/internal/fault"
+	"lambdastore/internal/rpc"
+	"lambdastore/internal/store"
+	"lambdastore/internal/telemetry"
+)
+
+const (
+	// defaultChunkEntries bounds one fetch chunk (entries); chunkByteCap
+	// bounds it in bytes so one huge value cannot blow the frame budget.
+	defaultChunkEntries = 512
+	chunkByteCap        = 256 << 10
+	// defaultStrictFailTimeout is how long the donor keeps failing a
+	// strict session's forwards (each failure withholds a client ack)
+	// before concluding the joiner died mid-cutover and dropping the
+	// session. A dropped strict session can never be admitted — its
+	// joiner must begin a fresh sync — so demotion trades a stalled
+	// rejoin for restored write availability, never for safety.
+	defaultStrictFailTimeout = 5 * time.Second
+)
+
+// DonorOptions wires a Donor into its node.
+type DonorOptions struct {
+	// DB is the primary's storage engine (digests and chunks read
+	// consistent snapshots of it).
+	DB *store.DB
+	// Pool sends forward frames to joiners.
+	Pool *rpc.Pool
+	// Epoch returns the node's current directory epoch; every
+	// session-scoped request must match it.
+	Epoch func() uint64
+	// IsPrimary gates the whole donor surface: only the group's current
+	// primary donates state.
+	IsPrimary func() bool
+	// Admit proposes the epoch-guarded configuration change re-adding
+	// the joiner as a backup and refreshes this node's directory view
+	// before returning, so the shipper covers the joiner from the very
+	// next commit.
+	Admit func(joiner string, expectEpoch uint64) error
+	// Metrics, if set, receives donor-side counters.
+	Metrics *telemetry.Registry
+	// ChunkEntries bounds a fetch chunk (default 512).
+	ChunkEntries int
+	// StrictFailTimeout overrides defaultStrictFailTimeout.
+	StrictFailTimeout time.Duration
+}
+
+// session is one joiner's catch-up, donor side. Counters are atomics
+// because forwards run concurrently under the commit guard's read lock.
+type session struct {
+	joiner  string
+	epoch   uint64
+	strict  atomic.Bool
+	gaps    atomic.Uint64 // forwards that failed (async: joiner re-rounds)
+	fwd     atomic.Uint64
+	started time.Time
+
+	// failMu guards failingSince, the start of the current run of
+	// strict-forward failures; crossing StrictFailTimeout drops the
+	// session.
+	failMu       sync.Mutex
+	failingSince time.Time
+	table        *DigestTable // cached at digest time for the objects drill-down (smu)
+}
+
+// Donor serves the recovery surface on a group primary: digest and
+// chunk reads off storage snapshots, plus synchronous relay of every
+// committed write-set to each active session so joiners converge on a
+// moving target.
+//
+// Locking: commitMu is the admission fence — every primary commit's
+// ship+forward sequence runs under its read lock (Donor.GuardCommit),
+// and admission takes the write lock, so there is no instant at which
+// a write could be acknowledged after the joiner's session retired but
+// before the shipper covers it as a real backup. smu guards the
+// session map and is never held across a network call: the joiner's
+// manager may block a forward RPC while it streams chunks, and chunk
+// fetches must keep being servable or the two nodes would deadlock.
+type Donor struct {
+	opts DonorOptions
+
+	// active mirrors len(sessions) so GuardCommit and ForwardCommit are
+	// one atomic load when no rejoin is running (the common case: every
+	// primary commit passes through here).
+	active   atomic.Int32
+	commitMu sync.RWMutex
+	smu      sync.Mutex
+	sessions map[string]*session
+
+	forwards *telemetry.Counter
+	gapsCtr  *telemetry.Counter
+}
+
+// NewDonor builds a Donor; RegisterDonor exposes it on a server.
+func NewDonor(opts DonorOptions) *Donor {
+	if opts.ChunkEntries <= 0 {
+		opts.ChunkEntries = defaultChunkEntries
+	}
+	if opts.StrictFailTimeout <= 0 {
+		opts.StrictFailTimeout = defaultStrictFailTimeout
+	}
+	d := &Donor{opts: opts, sessions: make(map[string]*session)}
+	if opts.Metrics != nil {
+		d.forwards = opts.Metrics.Counter("recovery.forwards")
+		d.gapsCtr = opts.Metrics.Counter("recovery.forward_gaps")
+	}
+	return d
+}
+
+var noopRelease = func() {}
+
+// GuardCommit brackets one commit's ship+forward sequence. The
+// returned release must be deferred around both. With no session
+// active it is a single atomic load.
+func (d *Donor) GuardCommit() (release func()) {
+	if d == nil || d.active.Load() == 0 {
+		return noopRelease
+	}
+	d.commitMu.RLock()
+	return d.commitMu.RUnlock
+}
+
+// check validates a session-scoped request against the donor's current
+// role and configuration view.
+func (d *Donor) check(epoch uint64) error {
+	if !d.opts.IsPrimary() {
+		return fmt.Errorf("recovery: donor is not the group primary")
+	}
+	if local := d.opts.Epoch(); epoch != local {
+		return fmt.Errorf("recovery: epoch mismatch: session %d, donor %d", epoch, local)
+	}
+	return nil
+}
+
+// begin opens (or reopens) a session for the joiner.
+func (d *Donor) begin(req *sessionReq) error {
+	if err := d.check(req.epoch); err != nil {
+		return err
+	}
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	d.sessions[req.joiner] = &session{joiner: req.joiner, epoch: req.epoch, started: time.Now()}
+	d.active.Store(int32(len(d.sessions)))
+	return nil
+}
+
+// end closes the joiner's session (idempotent).
+func (d *Donor) end(joiner string) {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	d.dropLocked(joiner)
+}
+
+func (d *Donor) dropLocked(joiner string) {
+	delete(d.sessions, joiner)
+	d.active.Store(int32(len(d.sessions)))
+}
+
+// lookup returns the joiner's session after validating the epoch.
+func (d *Donor) lookup(joiner string, epoch uint64) (*session, error) {
+	if err := d.check(epoch); err != nil {
+		return nil, err
+	}
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	s, ok := d.sessions[joiner]
+	if !ok {
+		return nil, fmt.Errorf("recovery: no session for %s", joiner)
+	}
+	if s.epoch != epoch {
+		return nil, fmt.Errorf("recovery: session epoch %d, request %d", s.epoch, epoch)
+	}
+	return s, nil
+}
+
+// snapshotSessions copies the active session pointers.
+func (d *Donor) snapshotSessions() []*session {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	out := make([]*session, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ForwardCommit relays one committed write-set to every active session.
+// Called from the primary's commit hook (under GuardCommit) after the
+// backups acknowledged, while the object's scheduler lock is still
+// held — so each object's commits are forwarded in order.
+//
+// Async sessions absorb failures as gaps (the joiner repairs them with
+// another digest round); strict sessions return the failure, which
+// withholds the client ack — between promote and admission the joiner
+// is paying a backup's cost to earn a backup's seat.
+func (d *Donor) ForwardCommit(object uint64, b *store.Batch) error {
+	if d == nil || d.active.Load() == 0 {
+		return nil
+	}
+	sessions := d.snapshotSessions()
+	if len(sessions) == 0 {
+		return nil
+	}
+	var frame []byte
+	var firstErr error
+	faults := fault.Enabled()
+	for _, s := range sessions {
+		var ferr error
+		if faults {
+			dec := fault.Eval(fault.SiteRecoveryForward, s.joiner)
+			if dec.Delay > 0 {
+				time.Sleep(dec.Delay)
+			}
+			if dec.Drop {
+				ferr = fmt.Errorf("recovery: forward to %s dropped (injected)", s.joiner)
+			} else if dec.Err != nil {
+				ferr = dec.Err
+			}
+		}
+		if ferr == nil {
+			if frame == nil {
+				frame = encodeForward(object, b.Encode())
+			}
+			_, ferr = d.opts.Pool.Call(s.joiner, MethodForward, frame)
+		}
+		if ferr == nil {
+			s.fwd.Add(1)
+			if d.forwards != nil {
+				d.forwards.Inc()
+			}
+			s.failMu.Lock()
+			s.failingSince = time.Time{}
+			s.failMu.Unlock()
+			continue
+		}
+		s.gaps.Add(1)
+		if d.gapsCtr != nil {
+			d.gapsCtr.Inc()
+		}
+		if !s.strict.Load() {
+			continue
+		}
+		s.failMu.Lock()
+		if s.failingSince.IsZero() {
+			s.failingSince = time.Now()
+		}
+		expired := time.Since(s.failingSince) > d.opts.StrictFailTimeout
+		s.failMu.Unlock()
+		if expired {
+			// The joiner has been unreachable for the whole window: stop
+			// failing the group's writes for it. It was never admitted
+			// (admission retires the session first, under the commit
+			// guard's write lock), so dropping it only abandons the
+			// rejoin attempt.
+			d.end(s.joiner)
+			continue
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("recovery: strict forward to %s: %w", s.joiner, ferr)
+		}
+	}
+	return firstErr
+}
+
+// admit runs the epoch-fenced cutover for one strict session. Taking
+// commitMu exclusively drains every in-flight ship+forward (each of
+// which either reached the joiner or withheld its ack) and stalls new
+// commits; the configuration change and the donor's directory refresh
+// then happen inside the quiescent window, so the first commit after
+// release ships to the joiner as a real backup.
+func (d *Donor) admit(req *sessionReq) error {
+	s, err := d.lookup(req.joiner, req.epoch)
+	if err != nil {
+		return err
+	}
+	if !s.strict.Load() {
+		return fmt.Errorf("recovery: admit before promote for %s", req.joiner)
+	}
+	if d.opts.Admit == nil {
+		return fmt.Errorf("recovery: donor has no coordinator to admit through")
+	}
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	// Re-check under the fence: a strict-fail timeout may have dropped
+	// the session while we waited for the lock.
+	d.smu.Lock()
+	cur, ok := d.sessions[req.joiner]
+	d.smu.Unlock()
+	if !ok || cur != s {
+		return fmt.Errorf("recovery: session for %s retired before admission", req.joiner)
+	}
+	if err := d.opts.Admit(req.joiner, req.epoch); err != nil {
+		return err
+	}
+	d.end(req.joiner)
+	return nil
+}
+
+// SessionStatus is one session as shown by /recovery and lambdactl.
+type SessionStatus struct {
+	Joiner     string  `json:"joiner"`
+	Epoch      uint64  `json:"epoch"`
+	Strict     bool    `json:"strict"`
+	Forwarded  uint64  `json:"forwarded"`
+	Gaps       uint64  `json:"gaps"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// Sessions snapshots the active sessions.
+func (d *Donor) Sessions() []SessionStatus {
+	if d == nil {
+		return nil
+	}
+	out := make([]SessionStatus, 0, 2)
+	for _, s := range d.snapshotSessions() {
+		out = append(out, SessionStatus{
+			Joiner:     s.joiner,
+			Epoch:      s.epoch,
+			Strict:     s.strict.Load(),
+			Forwarded:  s.fwd.Load(),
+			Gaps:       s.gaps.Load(),
+			AgeSeconds: time.Since(s.started).Seconds(),
+		})
+	}
+	return out
+}
+
+// serveChunk reads one bounded chunk of [start, end) from a consistent
+// snapshot.
+func (d *Donor) serveChunk(req *fetchReq) (*fetchResp, error) {
+	limit := int(req.limit)
+	if limit <= 0 || limit > 4096 {
+		limit = d.opts.ChunkEntries
+	}
+	snap := d.opts.DB.GetSnapshot()
+	defer snap.Release()
+	it, err := snap.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	resp := &fetchResp{}
+	bytes := 0
+	for it.Seek(req.start); it.Valid(); it.Next() {
+		k := it.Key()
+		if len(req.end) > 0 && string(k) >= string(req.end) {
+			break
+		}
+		if len(resp.keys) >= limit || bytes >= chunkByteCap {
+			resp.next = append([]byte(nil), k...)
+			break
+		}
+		resp.keys = append(resp.keys, append([]byte(nil), k...))
+		resp.values = append(resp.values, append([]byte(nil), it.Value()...))
+		bytes += len(k) + len(it.Value())
+	}
+	if err := it.Error(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// RegisterDonor exposes the donor surface on the node's RPC server.
+func RegisterDonor(srv *rpc.Server, d *Donor) {
+	srv.Handle(MethodBegin, func(body []byte) ([]byte, error) {
+		req, err := decodeSessionReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d.begin(req)
+	})
+	srv.Handle(MethodDigest, func(body []byte) ([]byte, error) {
+		req, err := decodeDigestReq(body)
+		if err != nil {
+			return nil, err
+		}
+		s, err := d.lookup(req.joiner, req.epoch)
+		if err != nil {
+			return nil, err
+		}
+		t, err := BuildDigest(d.opts.DB, int(req.buckets))
+		if err != nil {
+			return nil, err
+		}
+		d.smu.Lock()
+		s.table = t
+		d.smu.Unlock()
+		return encodeDigestResp(&digestResp{buckets: t.Buckets, meta: t.Meta}), nil
+	})
+	srv.Handle(MethodObjects, func(body []byte) ([]byte, error) {
+		req, err := decodeObjectsReq(body)
+		if err != nil {
+			return nil, err
+		}
+		s, err := d.lookup(req.joiner, req.epoch)
+		if err != nil {
+			return nil, err
+		}
+		d.smu.Lock()
+		t := s.table
+		d.smu.Unlock()
+		if t == nil {
+			return nil, fmt.Errorf("recovery: objects before digest for %s", req.joiner)
+		}
+		want := make(map[uint64]bool, len(req.buckets))
+		for _, b := range req.buckets {
+			want[b] = true
+		}
+		resp := &objectsResp{}
+		for id, dig := range t.Objects {
+			if want[uint64(bucketOf(id, len(t.Buckets)))] {
+				resp.ids = append(resp.ids, id)
+				resp.digests = append(resp.digests, dig)
+			}
+		}
+		return encodeObjectsResp(resp), nil
+	})
+	srv.Handle(MethodFetch, func(body []byte) ([]byte, error) {
+		req, err := decodeFetchReq(body)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.lookup(req.joiner, req.epoch); err != nil {
+			return nil, err
+		}
+		resp, err := d.serveChunk(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeFetchResp(resp), nil
+	})
+	srv.Handle(MethodPromote, func(body []byte) ([]byte, error) {
+		req, err := decodeSessionReq(body)
+		if err != nil {
+			return nil, err
+		}
+		s, err := d.lookup(req.joiner, req.epoch)
+		if err != nil {
+			return nil, err
+		}
+		// The flip happens before the reply: every commit whose forward
+		// starts after the joiner sees this response is strict, so a
+		// post-promote digest round certifies convergence.
+		s.strict.Store(true)
+		return encodePromoteResp(&promoteResp{gaps: s.gaps.Load()}), nil
+	})
+	srv.Handle(MethodAdmit, func(body []byte) ([]byte, error) {
+		req, err := decodeSessionReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, d.admit(req)
+	})
+	srv.Handle(MethodEnd, func(body []byte) ([]byte, error) {
+		req, err := decodeSessionReq(body)
+		if err != nil {
+			return nil, err
+		}
+		d.end(req.joiner)
+		return nil, nil
+	})
+}
+
+// metaRangeEnd is the exclusive upper bound of the meta key range: all
+// keys below the object keyspace (type records live there).
+func metaRangeEnd() []byte { return []byte{objectKeyPrefix} }
+
+// objectRange returns [start, end) for one object's keys.
+func objectRange(id uint64) (start, end []byte) {
+	start = make([]byte, 9)
+	start[0] = objectKeyPrefix
+	binary.BigEndian.PutUint64(start[1:], id)
+	end = make([]byte, 9)
+	copy(end, start)
+	for i := len(end) - 1; i > 0; i-- {
+		end[i]++
+		if end[i] != 0 {
+			return start, end
+		}
+	}
+	// id == MaxUint64: the range runs to the end of the object keyspace.
+	return start, []byte{objectKeyPrefix + 1}
+}

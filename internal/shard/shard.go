@@ -196,6 +196,34 @@ func (d *Directory) EvictBackup(gid uint64, addr string) bool {
 	return false
 }
 
+// AddBackup appends addr to group gid's backup set (a recovered node
+// re-admitted after anti-entropy catch-up), bumping the epoch. It
+// reports whether the group changed — an addr already present (or the
+// primary itself) is a no-op, keeping duplicate rejoin proposals
+// idempotent.
+func (d *Directory) AddBackup(gid uint64, addr string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.groups {
+		g := &d.groups[i]
+		if g.ID != gid {
+			continue
+		}
+		if g.Primary == addr {
+			return false
+		}
+		for _, b := range g.Backups {
+			if b == addr {
+				return false
+			}
+		}
+		g.Backups = append(g.Backups, addr)
+		d.epoch++
+		return true
+	}
+	return false
+}
+
 // Snapshot serializes the directory (coordinator -> node/client transfer).
 func (d *Directory) Snapshot() []byte {
 	d.mu.RLock()
