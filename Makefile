@@ -7,13 +7,14 @@
 #   make bench   telemetry hot-path benchmarks (must report 0 allocs/op)
 #   make bench-write  write-path batched-vs-unbatched comparison (JSON artifact)
 #   make bench-read   read-path per-layer ablation sweep (JSON artifact)
+#   make bench-obs    telemetry overhead: off / metrics / metrics+tracing (JSON artifact)
 #   make bench-recovery  rejoin cost, digest diff vs full resync (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write bench-read bench-recovery vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery vet check clean
 
 all: build
 
@@ -49,6 +50,13 @@ bench-write:
 # Retwis GetTimeline over a hot account set at 1/8/64 clients.
 bench-read:
 	$(GO) run ./cmd/lambda-bench -read-path -ops 4000 -out results/BENCH_read_path.json
+
+# Observability overhead: the bench-read all-layers GetTimeline config run
+# with telemetry fully off (registry withheld from every hot-path
+# component), metrics only, and metrics + per-request tracing. The
+# acceptance bar is metrics+tracing within 5% of telemetry-off throughput.
+bench-obs:
+	$(GO) run ./cmd/lambda-bench -obs -ops 4000 -out results/BENCH_observability.json
 
 # Rejoin cost: a crashed backup catches up via range-digest diff vs the
 # full-resync ablation, across store sizes and downtime divergence. The

@@ -9,6 +9,7 @@
 //	lambda-bench -ablation netdelay       A5: network-delay sweep
 //	lambda-bench -write-path              batched vs unbatched write pipeline
 //	lambda-bench -read-path               read-path layer ablations (GetTimeline)
+//	lambda-bench -obs                     telemetry overhead: off / metrics / metrics+tracing
 //	lambda-bench -recovery                rejoin cost: digest diff vs full resync
 //	lambda-bench -all                     everything
 package main
@@ -35,6 +36,7 @@ func main() {
 		dataRoot    = flag.String("data", "", "scratch directory root")
 		writePath   = flag.Bool("write-path", false, "run the batched-vs-unbatched write-path benchmark (fsync per commit)")
 		readPath    = flag.Bool("read-path", false, "run the read-path ablation sweep (GetTimeline at 1/8/64 clients)")
+		obs         = flag.Bool("obs", false, "run the observability-overhead sweep (telemetry off / metrics / metrics+tracing)")
 		recov       = flag.Bool("recovery", false, "run the rejoin benchmark (range-digest diff vs full resync)")
 		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -128,6 +130,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunReadPath(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: read-path: %v", err)
+		}
+		fmt.Println()
+	}
+	if *obs {
+		ran = true
+		if _, err := bench.RunObservability(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: obs: %v", err)
 		}
 		fmt.Println()
 	}

@@ -59,7 +59,8 @@ func main() {
 		peers     = flag.String("peers", "", "all replicas as id=addr,... (including self)")
 		hbTimeout = flag.Duration("heartbeat-timeout", 2*time.Second, "declare a node dead after this silence")
 		dataDir   = flag.String("data", "", "directory for the durable acceptor log (strongly recommended)")
-		debugAddr = flag.String("debug", "", "debug HTTP address for /metrics, /healthz, pprof (empty disables)")
+		debugAddr = flag.String("debug", "", "debug HTTP address for /metrics, /cluster/metrics, /healthz, pprof (empty disables)")
+		scrape    = flag.Duration("scrape-interval", coordinator.DefaultScrapeInterval, "member metrics scrape period for /cluster/metrics")
 	)
 	flag.Parse()
 	if *id == 0 || *peers == "" {
@@ -108,8 +109,14 @@ func main() {
 	log.Printf("lambdacoord: replica %d serving on %s (%d peers)", *id, bound, len(peerIDs))
 
 	var dbg *debug.Server
+	var agg *coordinator.Aggregator
 	if *debugAddr != "" {
-		dbg, err = debug.Start(*debugAddr, debug.Options{Registry: reg})
+		agg = coordinator.NewAggregator(svc, *scrape)
+		agg.Start()
+		dbg, err = debug.Start(*debugAddr, debug.Options{
+			Registry: reg,
+			Cluster:  func() any { return agg.Snapshot() },
+		})
 		if err != nil {
 			log.Fatalf("lambdacoord: debug: %v", err)
 		}
@@ -122,6 +129,9 @@ func main() {
 	log.Printf("lambdacoord: shutting down")
 	if dbg != nil {
 		dbg.Close()
+	}
+	if agg != nil {
+		agg.Close()
 	}
 	svc.Close()
 	srv.Close()

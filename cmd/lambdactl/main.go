@@ -37,6 +37,7 @@ import (
 	"lambdastore/internal/cluster"
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
+	"lambdastore/internal/debug"
 	"lambdastore/internal/retwis"
 	"lambdastore/internal/rpc"
 	"lambdastore/internal/shard"
@@ -58,6 +59,13 @@ Commands:
                                              fetch /metrics from debug servers
   traces          -debug HOST:PORT,...       fetch and pretty-print /traces
                   [-trace ID] [-min DUR]     (filter one trace / slow spans)
+  trace           ID -debug HOST:PORT,...    assemble one trace across nodes:
+                                             span tree + critical-path stage
+                                             attribution
+  top             -debug HOST:PORT           per-group live table (ops/s, p99,
+                  [-n COUNT] [-interval DUR] WAL fsync lag, cache hit rate,
+                                             queue depth) from a coordinator's
+                                             /cluster/metrics
   fault           -debug HOST:PORT [CMD...]  show the fault plane (no CMD),
                   [-file SCRIPT]             apply one command, or POST a script
   recovery        -debug HOST:PORT,...       show each node's rejoin state and
@@ -96,6 +104,12 @@ func main() {
 	case "traces":
 		runTraces(rest)
 		return
+	case "trace":
+		runTrace(rest)
+		return
+	case "top":
+		runTop(rest)
+		return
 	case "fault":
 		runFault(rest)
 		return
@@ -110,9 +124,10 @@ func main() {
 		// config; without it, it falls through to the RPC path below.
 		fs := flag.NewFlagSet("stats", flag.ExitOnError)
 		debugAddrs := fs.String("debug", "", "comma-separated debug HTTP addresses")
+		raw := fs.Bool("raw", false, "dump the plain-text /metrics instead of the windowed summary")
 		fs.Parse(rest)
 		if *debugAddrs != "" {
-			runStatsDebug(strings.Split(*debugAddrs, ","))
+			runStatsDebug(strings.Split(*debugAddrs, ","), *raw)
 			return
 		}
 	}
@@ -245,22 +260,161 @@ func main() {
 	}
 }
 
-// runStatsDebug prints each node's /metrics text.
-func runStatsDebug(addrs []string) {
+// runStatsDebug prints each node's metrics. The default view reads the
+// windowed /metrics.json snapshot: cumulative totals next to windowed rates
+// and quantiles, so rates don't have to be eyeballed from two scrapes. -raw
+// dumps the plain-text /metrics instead.
+func runStatsDebug(addrs []string, raw bool) {
 	for _, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		body, err := httpGet("http://" + addr + "/metrics")
+		if raw {
+			body, err := httpGet("http://" + addr + "/metrics")
+			if err != nil {
+				fmt.Printf("== %s: unreachable (%v)\n", addr, err)
+				continue
+			}
+			fmt.Printf("== %s\n", addr)
+			for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
+			continue
+		}
+		body, err := httpGet("http://" + addr + "/metrics.json")
 		if err != nil {
 			fmt.Printf("== %s: unreachable (%v)\n", addr, err)
 			continue
 		}
-		fmt.Printf("== %s\n", addr)
-		for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
-			fmt.Printf("  %s\n", line)
+		var snap telemetry.RegistrySnapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			log.Fatalf("lambdactl: %s: bad /metrics.json response: %v", addr, err)
 		}
+		fmt.Printf("== %s (window %.1fs)\n", addr, snap.WindowSecs)
+		printRegistrySnapshot(snap)
+	}
+}
+
+// printRegistrySnapshot renders one node's snapshot: histograms with
+// windowed quantiles and rates, then counters with windowed rates, then
+// gauges. Idle instruments (no samples in the window, zero totals) are
+// skipped to keep the summary readable.
+func printRegistrySnapshot(snap telemetry.RegistrySnapshot) {
+	names := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		hw := snap.Histograms[n]
+		if hw.Cumulative.Count == 0 {
+			continue
+		}
+		rate := float64(hw.Window.Count) / snap.WindowSecs
+		fmt.Printf("  %-28s %8.1f/s  p50=%-7s p99=%-7s p999=%-7s (total n=%d p99=%s)\n",
+			n, rate,
+			hw.Window.Quantile(0.5), hw.Window.Quantile(0.99), hw.Window.Quantile(0.999),
+			hw.Cumulative.Count, hw.Cumulative.Quantile(0.99))
+		if len(hw.Window.Exemplars) > 0 {
+			idx := make([]int, 0, len(hw.Window.Exemplars))
+			for i := range hw.Window.Exemplars {
+				idx = append(idx, i)
+			}
+			sort.Ints(idx)
+			top := idx[len(idx)-1]
+			fmt.Printf("  %-28s slowest-bucket exemplar trace=%s\n", "", hw.Window.Exemplars[top])
+		}
+	}
+	names = names[:0]
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := snap.Counters[n]
+		if c.Total == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s %8.1f/s  (total %d)\n", n, c.RatePerSec, c.Total)
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v := snap.Gauges[n]; v != 0 {
+			fmt.Printf("  %-28s %d\n", n, v)
+		}
+	}
+}
+
+// runTrace fetches one trace's spans from every listed debug server,
+// assembles them into a cross-node tree, and prints the tree with
+// critical-path stage attribution.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "", "comma-separated debug HTTP addresses (required)")
+	fs.Parse(args)
+	if *debugAddrs == "" {
+		log.Fatal("lambdactl: trace needs -debug")
+	}
+	if fs.NArg() != 1 {
+		log.Fatal("lambdactl: trace needs exactly one trace ID (hex or decimal)")
+	}
+	id, err := debug.ParseTraceID(fs.Arg(0))
+	if err != nil {
+		log.Fatalf("lambdactl: bad trace ID %q: %v", fs.Arg(0), err)
+	}
+	var spans []telemetry.Span
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/traces?trace=%016x", addr, id))
+		if err != nil {
+			fmt.Printf("== %s: unreachable (%v)\n", addr, err)
+			continue
+		}
+		var env tracesEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			log.Fatalf("lambdactl: %s: bad /traces response: %v", addr, err)
+		}
+		spans = append(spans, env.Spans...)
+	}
+	if len(spans) == 0 {
+		log.Fatalf("lambdactl: no spans found for trace %016x on any node", id)
+	}
+	fmt.Print(telemetry.AssembleTrace(id, spans).Render())
+}
+
+// runTop renders a coordinator's /cluster/metrics rollup as a per-group
+// table, optionally repeating (-n 0 means forever) every -interval.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	debugAddr := fs.String("debug", "", "coordinator debug HTTP address (required)")
+	count := fs.Int("n", 1, "iterations (0 = forever)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	fs.Parse(args)
+	if *debugAddr == "" {
+		log.Fatal("lambdactl: top needs -debug")
+	}
+	u := "http://" + strings.TrimSpace(*debugAddr) + "/cluster/metrics"
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		body, err := httpGet(u)
+		if err != nil {
+			log.Fatalf("lambdactl: %v", err)
+		}
+		var cm coordinator.ClusterMetrics
+		if err := json.Unmarshal(body, &cm); err != nil {
+			log.Fatalf("lambdactl: bad /cluster/metrics response: %v", err)
+		}
+		fmt.Print(coordinator.FormatClusterMetrics(cm))
 	}
 }
 

@@ -49,6 +49,10 @@ type Options struct {
 	DisableReadFastPath bool // read-only invocations take the full txn path
 	FullVMReset         bool // warm VM reuse re-images all memory
 
+	// Observability-overhead knobs (benchmarked by RunObservability).
+	DisableMetrics bool // withhold the registry from every hot-path component
+	Tracing        bool // record spans for every invocation
+
 	Verbose bool
 }
 
@@ -162,6 +166,8 @@ func StartAggregated(opts Options) (*Deployment, error) {
 			ClientOptions:         opts.clientOpts(),
 			DisableShipCoalescing: opts.DisableBatching,
 			DisableRPCCoalescing:  opts.DisableBatching,
+			DisableMetrics:        opts.DisableMetrics,
+			Tracing:               opts.Tracing,
 		})
 		if err != nil {
 			d.Close()

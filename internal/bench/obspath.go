@@ -1,0 +1,138 @@
+// The observability-overhead benchmark: the same GetTimeline workload the
+// read-path sweep uses (all fast-path layers on), run under three telemetry
+// configurations — everything off, metrics only, metrics plus per-request
+// span recording. The claim under test is that the instrumentation added for
+// cluster-wide tail-latency observability stays off the critical path: the
+// fully-instrumented configuration must cost only a few percent of
+// throughput versus a node with no telemetry at all, and the disabled paths
+// must not allocate (guarded separately by TestDisabledTelemetryZeroAlloc).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lambdastore/internal/workload"
+)
+
+// obsClients are the closed-loop client counts swept per mode.
+var obsClients = []int{8, 64}
+
+// obsRepeats is how many times each (mode, clients) point boots and runs;
+// the best throughput is kept. Peak throughput is far less noisy than a
+// single short run, and the overhead comparison needs the noise floor well
+// under the 5% acceptance bar.
+const obsRepeats = 3
+
+// obsMode is one telemetry configuration of the sweep.
+type obsMode struct {
+	name  string
+	apply func(*Options)
+}
+
+var obsModes = []obsMode{
+	{"off", func(o *Options) { o.DisableMetrics = true; o.Tracing = false }},
+	{"metrics", func(o *Options) { o.DisableMetrics = false; o.Tracing = false }},
+	{"metrics+tracing", func(o *Options) { o.DisableMetrics = false; o.Tracing = true }},
+}
+
+// ObsReport is the results/BENCH_observability.json document. Results reuse
+// ReadPathPoint (Config holds the mode name) so the two benchmarks stay
+// directly comparable.
+type ObsReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Workload    string          `json:"workload"`
+	Accounts    int             `json:"accounts"`
+	Ops         int             `json:"ops"`
+	Replicas    int             `json:"replicas"`
+	Clients     []int           `json:"clients"`
+	Results     []ReadPathPoint `json:"results"`
+	// Overhead of each enabled mode versus the telemetry-off baseline at
+	// the highest client count, as a percent of baseline throughput
+	// (positive = slower than baseline). The acceptance bar is
+	// metrics+tracing under 5%.
+	OverheadMetricsPct float64 `json:"overhead_metrics_pct"`
+	OverheadTracingPct float64 `json:"overhead_metrics_tracing_pct"`
+}
+
+// RunObservability sweeps the telemetry modes over the hot GetTimeline
+// workload. An empty outPath skips the JSON artifact.
+func RunObservability(opts Options, outPath string, w io.Writer) (*ObsReport, error) {
+	if opts.Accounts > 64 {
+		opts.Accounts = 64
+	}
+	if opts.OpsPerWorkload < 3000 {
+		opts.OpsPerWorkload = 3000
+	}
+
+	rep := &ObsReport{
+		GeneratedBy: "make bench-obs",
+		Workload:    workload.GetTimeline,
+		Accounts:    opts.Accounts,
+		Ops:         opts.OpsPerWorkload,
+		Replicas:    opts.Replicas,
+		Clients:     obsClients,
+	}
+
+	if w != nil {
+		fmt.Fprintln(w, "Observability overhead: Retwis GetTimeline, hot account set (telemetry modes)")
+	}
+	maxClients := obsClients[len(obsClients)-1]
+	thrAtMax := make(map[string]float64, len(obsModes))
+	for _, mode := range obsModes {
+		o := opts
+		mode.apply(&o)
+		for _, clients := range obsClients {
+			var p ReadPathPoint
+			for try := 0; try < obsRepeats; try++ {
+				q, err := runReadPathPoint(o, mode.name, clients)
+				if err != nil {
+					return nil, fmt.Errorf("bench: observability %s/%d: %w", mode.name, clients, err)
+				}
+				if try == 0 || q.Throughput > p.Throughput {
+					p = q
+				}
+			}
+			rep.Results = append(rep.Results, p)
+			if clients == maxClients {
+				thrAtMax[mode.name] = p.Throughput
+			}
+			if w != nil {
+				fmt.Fprintf(w, "  %-16s c=%-3d thr=%9.1f ops/s  p50=%6dus p99=%6dus  allocs/op=%.0f errs=%d\n",
+					p.Config, p.Clients, p.Throughput, p.P50Micros, p.P99Micros, p.AllocsPerOp, p.Errors)
+			}
+		}
+	}
+	if base := thrAtMax["off"]; base > 0 {
+		rep.OverheadMetricsPct = 100 * (base - thrAtMax["metrics"]) / base
+		rep.OverheadTracingPct = 100 * (base - thrAtMax["metrics+tracing"]) / base
+	}
+	if w != nil {
+		fmt.Fprintf(w, "  overhead at %d clients vs telemetry-off: metrics %.1f%%, metrics+tracing %.1f%%\n",
+			maxClients, rep.OverheadMetricsPct, rep.OverheadTracingPct)
+	}
+
+	if outPath != "" {
+		if err := writeObsReport(rep, outPath); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// writeObsReport stores the report as indented JSON.
+func writeObsReport(rep *ObsReport, path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -50,6 +50,12 @@ type NodeOptions struct {
 	// Tracing enables span recording. Off, the tracer costs one predicted
 	// branch per stage; metrics are always collected (atomic increments).
 	Tracing bool
+	// DisableMetrics withholds the telemetry registry from every hot-path
+	// component (rpc, runtime, store, replication, recovery), so invokes
+	// pay no atomic instrument updates at all. The node keeps a registry
+	// for its own bookkeeping counters; it just stays idle. Used by the
+	// observability-overhead benchmark's baseline.
+	DisableMetrics bool
 	// TraceBufferSize bounds the span ring (0 = telemetry.DefaultTraceBuffer).
 	TraceBufferSize int
 	// SlowTraceThreshold logs any root span slower than this (0 = no log).
@@ -118,12 +124,19 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	tracer.SetEnabled(opts.Tracing)
 	tracer.SetSlowThreshold(opts.SlowTraceThreshold)
 
+	// hotReg is what hot-path components see: nil under DisableMetrics
+	// (every recorder nil-checks and compiles to nothing), reg otherwise.
+	hotReg := reg
+	if opts.DisableMetrics {
+		hotReg = nil
+	}
+
 	stOpts := &store.Options{}
 	if opts.Store != nil {
 		cp := *opts.Store
 		stOpts = &cp
 	}
-	stOpts.Metrics = reg
+	stOpts.Metrics = hotReg
 
 	db, err := store.Open(opts.DataDir, stOpts)
 	if err != nil {
@@ -141,21 +154,21 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	}
 	n.forwards = reg.Counter("cluster.forwards")
 	n.migrations = reg.Counter("cluster.migrations")
-	n.srv.SetTelemetry(reg)
+	n.srv.SetTelemetry(hotReg)
 	n.srv.SetWriteCoalescing(!opts.DisableRPCCoalescing)
-	n.pool.SetTelemetry(reg)
+	n.pool.SetTelemetry(hotReg)
 	if opts.Directory == nil {
 		opts.Directory = shard.NewDirectory(nil)
 	}
 	n.dir.Store(opts.Directory)
 
 	n.shipper = replication.NewShipper(n.pool, n.onBackupFailure)
-	n.shipper.SetTelemetry(reg)
+	n.shipper.SetTelemetry(hotReg)
 	n.shipper.SetCoalescing(!opts.DisableShipCoalescing)
 
 	rtOpts := opts.Runtime
 	rtOpts.Invoker = &routerInvoker{node: n}
-	rtOpts.Metrics = reg
+	rtOpts.Metrics = hotReg
 	rtOpts.Tracer = tracer
 	rtOpts.OnCommit = func(ctx telemetry.SpanContext, obj core.ObjectID, seq uint64, ws *store.Batch) error {
 		// Synchronous primary-backup shipping: the invocation reply is not
@@ -181,7 +194,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		}
 		// Relay the commit to any joiner mid-catch-up (strict sessions
 		// withhold the ack on failure, exactly like a real backup).
-		return n.donor.ForwardCommit(uint64(obj), ws)
+		return n.donor.ForwardCommitCtx(ctx, uint64(obj), ws)
 	}
 	n.rt, err = core.NewRuntime(db, rtOpts)
 	if err != nil {
@@ -198,7 +211,8 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		Epoch:     func() uint64 { return n.dir.Load().Epoch() },
 		IsPrimary: n.isPrimary,
 		Admit:     n.admitJoiner,
-		Metrics:   reg,
+		Metrics:   hotReg,
+		Tracer:    tracer,
 	})
 	n.recmgr = recovery.NewManager(recovery.ManagerOptions{
 		GroupID: opts.GroupID,
@@ -212,7 +226,8 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		Buckets:        opts.RecoveryBuckets,
 		MaxBytesPerSec: opts.RecoveryMaxBytesPerSec,
 		FullResync:     opts.RecoveryFullResync,
-		Metrics:        reg,
+		Metrics:        hotReg,
+		Tracer:         tracer,
 	})
 
 	n.registerHandlers()
@@ -457,7 +472,7 @@ func (n *Node) coordLoop() {
 	for {
 		// Heartbeat immediately on entry (the failure detector should see
 		// a booting node as soon as it serves), then on every tick.
-		n.coord.Heartbeat(n.addr)
+		n.coord.Heartbeat(n.addr, n.DebugAddr())
 		if d, err := n.coord.GetConfig(); err == nil {
 			if d.Epoch() > n.dir.Load().Epoch() {
 				n.SetDirectory(d)

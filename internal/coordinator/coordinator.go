@@ -143,13 +143,14 @@ type Service struct {
 	opts Options
 	node *paxos.Node
 
-	mu       sync.Mutex
-	dir      *shard.Directory
-	lastSeen map[string]time.Time
-	applied  uint64
-	promotes map[uint64]uint64 // group -> effective (guard-matched) promotions
-	evicts   map[uint64]uint64 // group -> effective backup evictions
-	rejoins  map[uint64]uint64 // group -> effective backup re-admissions
+	mu         sync.Mutex
+	dir        *shard.Directory
+	lastSeen   map[string]time.Time
+	debugAddrs map[string]string // rpc addr -> debug HTTP addr (from heartbeats)
+	applied    uint64
+	promotes   map[uint64]uint64 // group -> effective (guard-matched) promotions
+	evicts     map[uint64]uint64 // group -> effective backup evictions
+	rejoins    map[uint64]uint64 // group -> effective backup re-admissions
 
 	stop chan struct{}
 	done chan struct{}
@@ -166,14 +167,15 @@ func New(id uint64, peers []uint64, trans paxos.Transport, opts Options) *Servic
 		opts.CheckInterval = 500 * time.Millisecond
 	}
 	s := &Service{
-		opts:     opts,
-		dir:      shard.NewDirectory(nil),
-		lastSeen: make(map[string]time.Time),
-		promotes: make(map[uint64]uint64),
-		evicts:   make(map[uint64]uint64),
-		rejoins:  make(map[uint64]uint64),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		opts:       opts,
+		dir:        shard.NewDirectory(nil),
+		lastSeen:   make(map[string]time.Time),
+		debugAddrs: make(map[string]string),
+		promotes:   make(map[uint64]uint64),
+		evicts:     make(map[uint64]uint64),
+		rejoins:    make(map[uint64]uint64),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	s.node = paxos.NewNode(id, peers, trans, s.apply)
 	return s
@@ -268,6 +270,29 @@ func (s *Service) Heartbeat(addr string) {
 	s.mu.Lock()
 	s.lastSeen[addr] = time.Now()
 	s.mu.Unlock()
+}
+
+// HeartbeatWithDebug records liveness and the node's debug HTTP address,
+// which the metrics aggregator scrapes.
+func (s *Service) HeartbeatWithDebug(addr, debugAddr string) {
+	s.mu.Lock()
+	s.lastSeen[addr] = time.Now()
+	if debugAddr != "" {
+		s.debugAddrs[addr] = debugAddr
+	}
+	s.mu.Unlock()
+}
+
+// DebugAddrs returns a copy of the rpc-addr -> debug-HTTP-addr table
+// learned from heartbeats.
+func (s *Service) DebugAddrs() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.debugAddrs))
+	for a, d := range s.debugAddrs {
+		out[a] = d
+	}
+	return out
 }
 
 // detectLoop sweeps for dead primaries and proposes promotions. Promotion
@@ -420,11 +445,19 @@ func RegisterServer(srv *rpc.Server, s *Service) {
 		return s.dir.Snapshot(), nil
 	})
 	srv.Handle(MethodHeartbeat, func(body []byte) ([]byte, error) {
-		addr, _, err := wire.String(body)
+		addr, rest, err := wire.String(body)
 		if err != nil {
 			return nil, err
 		}
-		s.Heartbeat(addr)
+		// Older nodes send only the rpc address; newer ones append their
+		// debug HTTP address for the metrics aggregator.
+		debugAddr := ""
+		if len(rest) > 0 {
+			if d, _, derr := wire.String(rest); derr == nil {
+				debugAddr = d
+			}
+		}
+		s.HeartbeatWithDebug(addr, debugAddr)
 		return nil, nil
 	})
 	srv.Handle(MethodSetGroup, func(body []byte) ([]byte, error) {
@@ -497,8 +530,10 @@ func (c *Client) GetConfig() (*shard.Directory, error) {
 }
 
 // Heartbeat reports node addr as alive to every reachable replica (each
-// replica runs its own failure detector).
-func (c *Client) Heartbeat(addr string) {
+// replica runs its own failure detector). debugAddr, if non-empty, tells the
+// coordinator where the node's debug HTTP endpoint lives so the metrics
+// aggregator can scrape it.
+func (c *Client) Heartbeat(addr, debugAddr string) {
 	if fault.Enabled() {
 		// Targeted heartbeat loss: the node keeps serving but looks dead to
 		// the failure detector (the gray-failure half of a partition).
@@ -511,6 +546,9 @@ func (c *Client) Heartbeat(addr string) {
 		}
 	}
 	body := wire.AppendString(nil, addr)
+	if debugAddr != "" {
+		body = wire.AppendString(body, debugAddr)
+	}
 	for _, a := range c.addrs {
 		c.pool.Call(a, MethodHeartbeat, body) //nolint:errcheck // best effort
 	}

@@ -48,6 +48,12 @@ type Options struct {
 	// Recovery, if set, backs /recovery: the node's anti-entropy rejoin
 	// state machine and active donor sessions, as JSON.
 	Recovery func() any
+	// Cluster, if set, backs /cluster/metrics: the coordinator's merged
+	// per-group and cluster-wide metric rollups, as JSON.
+	Cluster func() any
+	// Window is the sliding-window length for /metrics.json windowed
+	// values; zero selects telemetry.DefaultWindow.
+	Window time.Duration
 }
 
 // Server is a running debug HTTP endpoint.
@@ -64,7 +70,14 @@ func Start(addr string, o Options) (*Server, error) {
 		return nil, fmt.Errorf("debug: listen: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { serveMetrics(w, o) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			serveMetricsJSON(w, o)
+			return
+		}
+		serveMetrics(w, o)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) { serveMetricsJSON(w, o) })
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) { serveTraces(w, r, o.Tracer) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if o.Health != nil {
@@ -82,6 +95,12 @@ func Start(addr string, o Options) (*Server, error) {
 		mux.HandleFunc("/recovery", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(o.Recovery())
+		})
+	}
+	if o.Cluster != nil {
+		mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(o.Cluster())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -134,6 +153,25 @@ func serveMetrics(w http.ResponseWriter, o Options) {
 		}
 	}
 	w.Write([]byte(b.String()))
+}
+
+// serveMetricsJSON renders the registry as a telemetry.RegistrySnapshot:
+// every histogram cumulative and windowed (with quantiles, sparse buckets
+// and trace exemplars), every counter with its windowed rate, every gauge.
+// Extra gauges from Options.Gauges are folded into the counter section so
+// they get windowed rates too. This is the form the coordinator scrapes and
+// merges.
+func serveMetricsJSON(w http.ResponseWriter, o Options) {
+	w.Header().Set("Content-Type", "application/json")
+	if o.Registry == nil {
+		json.NewEncoder(w).Encode(telemetry.RegistrySnapshot{})
+		return
+	}
+	var extra map[string]uint64
+	if o.Gauges != nil {
+		extra = o.Gauges()
+	}
+	json.NewEncoder(w).Encode(o.Registry.Snapshot(o.Window, extra))
 }
 
 // serveFaults is the fault plane's HTTP surface: GET describes, POST

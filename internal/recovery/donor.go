@@ -47,6 +47,10 @@ type DonorOptions struct {
 	Admit func(joiner string, expectEpoch uint64) error
 	// Metrics, if set, receives donor-side counters.
 	Metrics *telemetry.Registry
+	// Tracer, if set, records a span per donor-side session RPC (begin,
+	// digest, objects, fetch, promote, admit) parented into the joiner's
+	// rejoin trace, and threads commit traces through forward relays.
+	Tracer *telemetry.Tracer
 	// ChunkEntries bounds a fetch chunk (default 512).
 	ChunkEntries int
 	// StrictFailTimeout overrides defaultStrictFailTimeout.
@@ -202,6 +206,13 @@ func (d *Donor) snapshotSessions() []*session {
 // withholds the client ack — between promote and admission the joiner
 // is paying a backup's cost to earn a backup's seat.
 func (d *Donor) ForwardCommit(object uint64, b *store.Batch) error {
+	return d.ForwardCommitCtx(telemetry.SpanContext{}, object, b)
+}
+
+// ForwardCommitCtx is ForwardCommit carrying the committing request's trace
+// context, so a forward relay (and the joiner's apply) shows up in the same
+// assembled trace as the write that caused it.
+func (d *Donor) ForwardCommitCtx(ctx telemetry.SpanContext, object uint64, b *store.Batch) error {
 	if d == nil || d.active.Load() == 0 {
 		return nil
 	}
@@ -229,7 +240,13 @@ func (d *Donor) ForwardCommit(object uint64, b *store.Batch) error {
 			if frame == nil {
 				frame = encodeForward(object, b.Encode())
 			}
-			_, ferr = d.opts.Pool.Call(s.joiner, MethodForward, frame)
+			span := d.opts.Tracer.StartSpan(ctx, "recovery.forward")
+			fctx := span.Context()
+			if !fctx.Valid() {
+				fctx = ctx
+			}
+			_, ferr = d.opts.Pool.CallCtx(s.joiner, fctx, MethodForward, frame)
+			span.FinishErr(ferr)
 		}
 		if ferr == nil {
 			s.fwd.Add(1)
@@ -368,16 +385,25 @@ func (d *Donor) serveChunk(req *fetchReq) (*fetchResp, error) {
 	return resp, nil
 }
 
-// RegisterDonor exposes the donor surface on the node's RPC server.
+// RegisterDonor exposes the donor surface on the node's RPC server. Every
+// handler records a span parented into the caller's trace (the joiner's
+// rejoin session), so a whole catch-up assembles as one tree.
 func RegisterDonor(srv *rpc.Server, d *Donor) {
-	srv.Handle(MethodBegin, func(body []byte) ([]byte, error) {
+	traced := func(method string, fn func(body []byte) ([]byte, error)) {
+		srv.HandleCtx(method, func(info rpc.CallInfo, body []byte) (resp []byte, err error) {
+			span := d.opts.Tracer.StartSpan(info.Trace, method)
+			defer func() { span.FinishErr(err) }()
+			return fn(body)
+		})
+	}
+	traced(MethodBegin, func(body []byte) ([]byte, error) {
 		req, err := decodeSessionReq(body)
 		if err != nil {
 			return nil, err
 		}
 		return nil, d.begin(req)
 	})
-	srv.Handle(MethodDigest, func(body []byte) ([]byte, error) {
+	traced(MethodDigest, func(body []byte) ([]byte, error) {
 		req, err := decodeDigestReq(body)
 		if err != nil {
 			return nil, err
@@ -395,7 +421,7 @@ func RegisterDonor(srv *rpc.Server, d *Donor) {
 		d.smu.Unlock()
 		return encodeDigestResp(&digestResp{buckets: t.Buckets, meta: t.Meta}), nil
 	})
-	srv.Handle(MethodObjects, func(body []byte) ([]byte, error) {
+	traced(MethodObjects, func(body []byte) ([]byte, error) {
 		req, err := decodeObjectsReq(body)
 		if err != nil {
 			return nil, err
@@ -423,7 +449,7 @@ func RegisterDonor(srv *rpc.Server, d *Donor) {
 		}
 		return encodeObjectsResp(resp), nil
 	})
-	srv.Handle(MethodFetch, func(body []byte) ([]byte, error) {
+	traced(MethodFetch, func(body []byte) ([]byte, error) {
 		req, err := decodeFetchReq(body)
 		if err != nil {
 			return nil, err
@@ -437,7 +463,7 @@ func RegisterDonor(srv *rpc.Server, d *Donor) {
 		}
 		return encodeFetchResp(resp), nil
 	})
-	srv.Handle(MethodPromote, func(body []byte) ([]byte, error) {
+	traced(MethodPromote, func(body []byte) ([]byte, error) {
 		req, err := decodeSessionReq(body)
 		if err != nil {
 			return nil, err
@@ -452,14 +478,14 @@ func RegisterDonor(srv *rpc.Server, d *Donor) {
 		s.strict.Store(true)
 		return encodePromoteResp(&promoteResp{gaps: s.gaps.Load()}), nil
 	})
-	srv.Handle(MethodAdmit, func(body []byte) ([]byte, error) {
+	traced(MethodAdmit, func(body []byte) ([]byte, error) {
 		req, err := decodeSessionReq(body)
 		if err != nil {
 			return nil, err
 		}
 		return nil, d.admit(req)
 	})
-	srv.Handle(MethodEnd, func(body []byte) ([]byte, error) {
+	traced(MethodEnd, func(body []byte) ([]byte, error) {
 		req, err := decodeSessionReq(body)
 		if err != nil {
 			return nil, err

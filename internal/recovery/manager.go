@@ -82,6 +82,11 @@ type ManagerOptions struct {
 	// Metrics, if set, receives the joiner-side counters and the
 	// rejoin-duration histogram.
 	Metrics *telemetry.Registry
+	// Tracer, if set, records the rejoin as one trace: a root "rejoin"
+	// span per session with every donor RPC (digest, objects, fetch,
+	// promote, admit) as a traced child, so a whole catch-up assembles
+	// like any other cross-node request.
+	Tracer *telemetry.Tracer
 	// Log, if set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -123,6 +128,10 @@ type Manager struct {
 	streamed *telemetry.Counter
 	chunks   *telemetry.Counter
 	rejoinH  *telemetry.Histogram
+
+	// sessCtx is the current rejoin session's trace context (zero when
+	// untraced). Only the manager loop goroutine touches it.
+	sessCtx telemetry.SpanContext
 }
 
 // NewManager builds a Manager. RegisterForward must be called before
@@ -160,9 +169,13 @@ func NewManager(opts ManagerOptions) *Manager {
 // SetSelf installs the node's bound address (known only after listen).
 func (m *Manager) SetSelf(addr string) { m.opts.Self = addr }
 
-// RegisterForward exposes the joiner side of commit forwarding.
+// RegisterForward exposes the joiner side of commit forwarding. The
+// handler's span joins the forwarding commit's trace (not the rejoin
+// trace): the forward is part of that write's replication fan-out.
 func (m *Manager) RegisterForward(srv *rpc.Server) {
-	srv.Handle(MethodForward, func(body []byte) ([]byte, error) {
+	srv.HandleCtx(MethodForward, func(info rpc.CallInfo, body []byte) (_ []byte, err error) {
+		span := m.opts.Tracer.StartSpan(info.Trace, "recovery.forward-apply")
+		defer func() { span.FinishErr(err) }()
 		msg, err := decodeForward(body)
 		if err != nil {
 			return nil, err
@@ -258,12 +271,19 @@ func (m *Manager) stepOnce() bool {
 }
 
 // syncOnce runs one full session: begin → buffered transfer → drain →
-// strict promote → clean verification round → admit → membership.
-func (m *Manager) syncOnce(donor string, epoch uint64) error {
+// strict promote → clean verification round → admit → membership. When
+// tracing is on the whole session is one trace rooted at a "rejoin" span.
+func (m *Manager) syncOnce(donor string, epoch uint64) (err error) {
 	start := time.Now()
 	m.setDonor(donor)
 	m.state.Store(int32(StateSyncing))
-	if _, err := m.opts.Pool.Call(donor, MethodBegin, encodeSessionReq(m.opts.Self, epoch)); err != nil {
+	root := m.opts.Tracer.StartSpan(telemetry.SpanContext{}, "rejoin")
+	m.sessCtx = root.Context()
+	defer func() {
+		root.FinishErr(err)
+		m.sessCtx = telemetry.SpanContext{}
+	}()
+	if _, err := m.call(donor, MethodBegin, encodeSessionReq(m.opts.Self, epoch)); err != nil {
 		return fmt.Errorf("begin: %w", err)
 	}
 	m.startBuffering()
@@ -272,7 +292,7 @@ func (m *Manager) syncOnce(donor string, epoch uint64) error {
 		if !finished {
 			m.discardBuffer()
 			// Best effort: a dead donor keeps no session anyway.
-			m.opts.Pool.Call(donor, MethodEnd, encodeSessionReq(m.opts.Self, epoch)) //nolint:errcheck
+			m.call(donor, MethodEnd, encodeSessionReq(m.opts.Self, epoch)) //nolint:errcheck
 		}
 	}()
 
@@ -286,7 +306,7 @@ func (m *Manager) syncOnce(donor string, epoch uint64) error {
 	}
 	// Strict forwarding: from here every donor commit either reaches us
 	// or is never acknowledged.
-	if _, err := m.opts.Pool.Call(donor, MethodPromote, encodeSessionReq(m.opts.Self, epoch)); err != nil {
+	if _, err := m.call(donor, MethodPromote, encodeSessionReq(m.opts.Self, epoch)); err != nil {
 		return fmt.Errorf("promote: %w", err)
 	}
 	// Verification rounds: one clean round under strict forwarding
@@ -313,7 +333,7 @@ func (m *Manager) syncOnce(donor string, epoch uint64) error {
 	// Epoch-fenced cutover: the donor proposes the config change and
 	// refreshes its shipping fan-out under its commit fence.
 	m.state.Store(int32(StateCutover))
-	_, admitErr := m.opts.Pool.Call(donor, MethodAdmit, encodeSessionReq(m.opts.Self, epoch))
+	_, admitErr := m.call(donor, MethodAdmit, encodeSessionReq(m.opts.Self, epoch))
 	// Await membership in our own view even when admit errored: the
 	// proposal may have landed before the donor's reply was lost.
 	deadline := time.Now().Add(10 * time.Second)
@@ -552,7 +572,21 @@ func (m *Manager) callFetchSite(donor, method string, body []byte) ([]byte, erro
 			return nil, dec.Err
 		}
 	}
-	return m.opts.Pool.Call(donor, method, body)
+	return m.call(donor, method, body)
+}
+
+// call issues one session RPC to the donor under the current rejoin trace:
+// a child span named after the method brackets the call, and the context
+// rides the RPC frame so the donor's handler spans join the same trace.
+func (m *Manager) call(donor, method string, body []byte) ([]byte, error) {
+	span := m.opts.Tracer.StartSpan(m.sessCtx, method)
+	ctx := span.Context()
+	if !ctx.Valid() {
+		ctx = m.sessCtx
+	}
+	resp, err := m.opts.Pool.CallCtx(donor, ctx, method, body)
+	span.FinishErr(err)
+	return resp, err
 }
 
 // throttle enforces MaxBytesPerSec per chunk.

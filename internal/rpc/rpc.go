@@ -484,7 +484,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp.body = body
 			}
 			if m != nil {
-				m.handleUs.Record(time.Since(start))
+				m.handleUs.RecordTraced(time.Since(start), msg.trace)
 				m.txBytes.Add(uint64(len(resp.body)))
 				m.inFlight.Dec()
 			}
@@ -691,7 +691,7 @@ func (c *Client) CallCtx(ctx telemetry.SpanContext, method string, body []byte) 
 	}
 	resp, err := c.call(ctx, method, body)
 	if m != nil {
-		m.callUs.Record(time.Since(start))
+		m.callUs.RecordTraced(time.Since(start), ctx.Trace)
 		m.rxBytes.Add(uint64(len(resp)))
 	}
 	return resp, err

@@ -82,6 +82,9 @@ type dbMetrics struct {
 	// groupSize records the member count of each committed write group
 	// (unit: batches, not time — read the quantiles as counts in µs form).
 	groupSize *telemetry.Histogram
+	// fsyncUs records the latency of each synced WAL append — the
+	// "WAL fsync lag" column of the cluster rollup.
+	fsyncUs *telemetry.Histogram
 }
 
 func newDBMetrics(reg *telemetry.Registry) *dbMetrics {
@@ -93,6 +96,7 @@ func newDBMetrics(reg *telemetry.Registry) *dbMetrics {
 		compactions: reg.Counter("store.compactions"),
 		compactUs:   reg.Histogram("store.compact"),
 		groupSize:   reg.Histogram("wal.group_size"),
+		fsyncUs:     reg.Histogram("wal.fsync"),
 	}
 }
 
@@ -356,6 +360,10 @@ func (db *DB) writeSolo(b *Batch) error {
 	}
 	b.startSeq = db.lastSeq + 1
 	rec := b.encode(nil)
+	var syncStart time.Time
+	if db.metrics != nil && db.opts.SyncWrites {
+		syncStart = time.Now()
+	}
 	if err := db.wal.append(rec, db.opts.SyncWrites); err != nil {
 		return err
 	}
@@ -364,6 +372,7 @@ func (db *DB) writeSolo(b *Batch) error {
 		m.walBytes.Add(uint64(len(rec)))
 		if db.opts.SyncWrites {
 			m.walSyncs.Inc()
+			m.fsyncUs.Record(time.Since(syncStart))
 		}
 	}
 	if err := b.apply(db.mem); err != nil {
@@ -467,6 +476,10 @@ func (db *DB) commitGroup() {
 	wal := db.wal
 	db.writeActive = true
 	db.mu.Unlock()
+	var syncStart time.Time
+	if db.metrics != nil && sync {
+		syncStart = time.Now()
+	}
 	err := wal.appendAll(records, sync)
 	db.mu.Lock()
 	db.writeActive = false
@@ -492,6 +505,7 @@ func (db *DB) commitGroup() {
 		if m := db.metrics; m != nil {
 			if sync {
 				m.walSyncs.Inc()
+				m.fsyncUs.Record(time.Since(syncStart))
 			}
 			m.groupSize.Record(time.Duration(len(group)) * time.Microsecond)
 		}

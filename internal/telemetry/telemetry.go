@@ -33,6 +33,10 @@ type Histogram struct {
 	count   atomic.Uint64
 	sumUs   atomic.Uint64
 	maxUs   atomic.Uint64
+	// exemplars[i] holds the trace ID of a recent traced observation that
+	// landed in bucket i, so a latency spike in /metrics links directly to
+	// an assembled trace.
+	exemplars [bucketCount]atomic.Uint64
 }
 
 // bucketIndex maps a latency in microseconds to its bucket: the exponent
@@ -67,14 +71,27 @@ func bucketValueUs(i int) float64 {
 
 // Record adds one observation.
 func (h *Histogram) Record(d time.Duration) {
-	us := uint64(d.Microseconds())
-	h.buckets[bucketIndex(us)].Add(1)
+	h.add(uint64(d.Microseconds()))
+}
+
+// RecordTraced adds one observation and, when trace is non-zero, retains the
+// trace ID as the exemplar for the bucket the observation landed in.
+func (h *Histogram) RecordTraced(d time.Duration, trace uint64) {
+	idx := h.add(uint64(d.Microseconds()))
+	if trace != 0 {
+		h.exemplars[idx].Store(trace)
+	}
+}
+
+func (h *Histogram) add(us uint64) int {
+	idx := bucketIndex(us)
+	h.buckets[idx].Add(1)
 	h.count.Add(1)
 	h.sumUs.Add(us)
 	for {
 		cur := h.maxUs.Load()
 		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
-			return
+			return idx
 		}
 	}
 }
@@ -189,6 +206,15 @@ type Registry struct {
 	histograms map[string]*Histogram
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+
+	// Sliding-window state for Snapshot: the cumulative values captured at
+	// the last window rotation. Guarded separately from mu so snapshotting
+	// never blocks instrument creation.
+	created  time.Time
+	winMu    sync.Mutex
+	winStart time.Time
+	winHist  map[string]HistData
+	winCtr   map[string]uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -197,6 +223,7 @@ func NewRegistry() *Registry {
 		histograms: make(map[string]*Histogram),
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
+		created:    time.Now(),
 	}
 }
 

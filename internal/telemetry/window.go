@@ -1,0 +1,381 @@
+// Coordinated-omission-safe recording, mergeable histogram snapshots, and
+// registry-level sliding windows.
+//
+// Three concerns live here because they share the bucket layout:
+//
+//   - RecordWithIntended backfills the samples a stalled closed-loop client
+//     never issued (HdrHistogram's expected-interval correction), so windowed
+//     p99/p999 reflect what an open-loop arrival process would have seen.
+//   - HistData is the wire form of a histogram: a sparse copy of the bucket
+//     array plus derived quantiles. Because every histogram in the system
+//     shares one bucket layout, HistData merge is plain bucket addition —
+//     commutative and associative by construction — which is what lets the
+//     coordinator roll node snapshots up into group and cluster views.
+//   - Registry.Snapshot reports each instrument twice, cumulative and over a
+//     sliding window, so rates and windowed percentiles don't have to be
+//     eyeballed from two scrapes.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// maxBackfill bounds the synthetic samples one RecordWithIntended call may
+// add, so a single multi-second stall cannot spin the recorder.
+const maxBackfill = 4096
+
+// RecordWithIntended records the latency of an operation that finished now,
+// started at start, but was *intended* to start at intendedStart (the slot an
+// open-loop arrival schedule assigned to it). The full intended-to-finish
+// time is recorded, and the coordinator-omission gap is backfilled with
+// synthetic samples at the actual service time interval, HdrHistogram-style:
+// if one 100ms stall absorbed ten 10ms operations, ten degraded samples are
+// recorded, not one.
+func (h *Histogram) RecordWithIntended(start, intendedStart time.Time) {
+	h.recordWithIntendedAt(time.Now(), start, intendedStart)
+}
+
+// recordWithIntendedAt is RecordWithIntended with an explicit clock for
+// deterministic tests.
+func (h *Histogram) recordWithIntendedAt(end, start, intended time.Time) {
+	actual := end.Sub(start)
+	if actual < 0 {
+		actual = 0
+	}
+	if !intended.Before(start) {
+		h.Record(actual)
+		return
+	}
+	total := end.Sub(intended)
+	h.Record(total)
+	interval := actual
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	for v, n := total-interval, 0; v >= interval && n < maxBackfill; v, n = v-interval, n+1 {
+		h.Record(v)
+	}
+}
+
+// HistData is a point-in-time, mergeable histogram snapshot: the sparse
+// bucket counts plus derived summary fields. All histograms share one bucket
+// layout, so Merge is exact (no re-sampling error) and associative.
+type HistData struct {
+	Count  uint64 `json:"count"`
+	SumUs  uint64 `json:"sum_us"`
+	MaxUs  uint64 `json:"max_us"`
+	P50Us  uint64 `json:"p50_us"`
+	P99Us  uint64 `json:"p99_us"`
+	P999Us uint64 `json:"p999_us"`
+	// Buckets maps bucket index -> count for non-empty buckets.
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+	// Exemplars maps bucket index -> hex trace ID of a recent request that
+	// landed in that bucket, linking a quantile spike to an assembled trace.
+	Exemplars map[int]string `json:"exemplars,omitempty"`
+}
+
+// Data snapshots the histogram, including exemplars.
+func (h *Histogram) Data() HistData {
+	d := HistData{SumUs: h.sumUs.Load(), MaxUs: h.maxUs.Load()}
+	for i := 0; i < bucketCount; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			if d.Buckets == nil {
+				d.Buckets = make(map[int]uint64)
+			}
+			d.Buckets[i] = n
+		}
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			if d.Exemplars == nil {
+				d.Exemplars = make(map[int]string)
+			}
+			d.Exemplars[i] = fmt.Sprintf("%016x", ex)
+		}
+	}
+	d.finalize()
+	return d
+}
+
+// finalize recomputes Count and the derived quantile fields from the bucket
+// counts. Count comes from the buckets (not the count field) so concurrent
+// recording can never make quantile targets disagree with bucket contents.
+func (d *HistData) finalize() {
+	var total uint64
+	for _, n := range d.Buckets {
+		total += n
+	}
+	d.Count = total
+	d.P50Us = d.quantileUs(0.5)
+	d.P99Us = d.quantileUs(0.99)
+	d.P999Us = d.quantileUs(0.999)
+}
+
+// sortedBuckets returns the non-empty bucket indexes in ascending order.
+func (d HistData) sortedBuckets() []int {
+	idx := make([]int, 0, len(d.Buckets))
+	for i := range d.Buckets {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+func (d HistData) quantileUs(q float64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total uint64
+	for _, n := range d.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for _, i := range d.sortedBuckets() {
+		seen += d.Buckets[i]
+		if seen > target {
+			return uint64(bucketValueUs(i))
+		}
+	}
+	return d.MaxUs
+}
+
+// Quantile returns the latency at quantile q in [0,1].
+func (d HistData) Quantile(q float64) time.Duration {
+	return time.Duration(d.quantileUs(q)) * time.Microsecond
+}
+
+// Mean returns the mean latency.
+func (d HistData) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return time.Duration(d.SumUs/d.Count) * time.Microsecond
+}
+
+// Merge returns the union of two snapshots: bucket-wise addition, summed
+// totals, max of maxima. Exemplar conflicts resolve to the lexicographically
+// larger trace ID so Merge stays commutative.
+func (d HistData) Merge(o HistData) HistData {
+	out := HistData{
+		SumUs: d.SumUs + o.SumUs,
+		MaxUs: d.MaxUs,
+	}
+	if o.MaxUs > out.MaxUs {
+		out.MaxUs = o.MaxUs
+	}
+	for i, n := range d.Buckets {
+		if out.Buckets == nil {
+			out.Buckets = make(map[int]uint64)
+		}
+		out.Buckets[i] += n
+	}
+	for i, n := range o.Buckets {
+		if out.Buckets == nil {
+			out.Buckets = make(map[int]uint64)
+		}
+		out.Buckets[i] += n
+	}
+	for i, ex := range d.Exemplars {
+		if out.Exemplars == nil {
+			out.Exemplars = make(map[int]string)
+		}
+		out.Exemplars[i] = ex
+	}
+	for i, ex := range o.Exemplars {
+		if out.Exemplars == nil {
+			out.Exemplars = make(map[int]string)
+		}
+		if cur, ok := out.Exemplars[i]; !ok || ex > cur {
+			out.Exemplars[i] = ex
+		}
+	}
+	out.finalize()
+	return out
+}
+
+// Sub returns the samples recorded since prev was taken from the same
+// histogram: bucket-wise subtraction. The windowed max is approximated by the
+// highest non-empty delta bucket (the true max of the window is not
+// recoverable from cumulative state). Exemplars carry over from the current
+// snapshot.
+func (d HistData) Sub(prev HistData) HistData {
+	out := HistData{}
+	for i, n := range d.Buckets {
+		p := prev.Buckets[i]
+		if n <= p {
+			continue
+		}
+		if out.Buckets == nil {
+			out.Buckets = make(map[int]uint64)
+		}
+		out.Buckets[i] = n - p
+	}
+	if d.SumUs > prev.SumUs {
+		out.SumUs = d.SumUs - prev.SumUs
+	}
+	if idx := out.sortedBuckets(); len(idx) > 0 {
+		out.MaxUs = uint64(bucketValueUs(idx[len(idx)-1]))
+	}
+	out.Exemplars = d.Exemplars
+	out.finalize()
+	return out
+}
+
+// CounterSnap is one counter in a registry snapshot: the cumulative total and
+// the rate over the reported window.
+type CounterSnap struct {
+	Total      uint64  `json:"total"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// HistWindow pairs the cumulative view of a histogram with the view over the
+// current sliding window.
+type HistWindow struct {
+	Cumulative HistData `json:"cumulative"`
+	Window     HistData `json:"window"`
+}
+
+// RegistrySnapshot is the JSON form of a registry: every histogram
+// (cumulative + windowed), every counter (total + windowed rate), and every
+// gauge. It is what the debug server serves and the coordinator merges.
+type RegistrySnapshot struct {
+	UnixNano   int64                  `json:"unix_nano"`
+	WindowSecs float64                `json:"window_seconds"`
+	Histograms map[string]HistWindow  `json:"histograms,omitempty"`
+	Counters   map[string]CounterSnap `json:"counters,omitempty"`
+	Gauges     map[string]int64       `json:"gauges,omitempty"`
+}
+
+// DefaultWindow is the sliding-window length used when a snapshot caller
+// passes zero.
+const DefaultWindow = 10 * time.Second
+
+// Snapshot reports every instrument cumulatively and over a sliding window.
+// The window state is kept in the registry: the first call measures from
+// registry creation, and whenever the open window has run at least `window`
+// long it is rotated, so the reported window length varies between window and
+// 2x window under steady scraping. extra folds externally-tracked cumulative
+// counters (e.g. node-level gauges that are really monotonic counts) into the
+// counter section so they get windowed rates too.
+func (r *Registry) Snapshot(window time.Duration, extra map[string]uint64) RegistrySnapshot {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	now := time.Now()
+
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		hists[n] = h
+	}
+	ctrs := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		ctrs[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	r.mu.Unlock()
+
+	curHist := make(map[string]HistData, len(hists))
+	for n, h := range hists {
+		curHist[n] = h.Data()
+	}
+	curCtr := make(map[string]uint64, len(ctrs)+len(extra))
+	for n, c := range ctrs {
+		curCtr[n] = c.Value()
+	}
+	for n, v := range extra {
+		curCtr[n] = v
+	}
+
+	r.winMu.Lock()
+	start := r.winStart
+	if start.IsZero() {
+		start = r.created
+	}
+	elapsed := now.Sub(start)
+	if elapsed < time.Millisecond {
+		elapsed = time.Millisecond
+	}
+	secs := elapsed.Seconds()
+
+	snap := RegistrySnapshot{
+		UnixNano:   now.UnixNano(),
+		WindowSecs: secs,
+		Histograms: make(map[string]HistWindow, len(curHist)),
+		Counters:   make(map[string]CounterSnap, len(curCtr)),
+		Gauges:     make(map[string]int64, len(gauges)),
+	}
+	for n, cur := range curHist {
+		snap.Histograms[n] = HistWindow{Cumulative: cur, Window: cur.Sub(r.winHist[n])}
+	}
+	for n, cur := range curCtr {
+		delta := cur - r.winCtr[n]
+		if cur < r.winCtr[n] {
+			delta = 0
+		}
+		snap.Counters[n] = CounterSnap{Total: cur, RatePerSec: float64(delta) / secs}
+	}
+	for n, g := range gauges {
+		snap.Gauges[n] = g.Value()
+	}
+
+	if elapsed >= window {
+		r.winStart = now
+		r.winHist = curHist
+		r.winCtr = curCtr
+	}
+	r.winMu.Unlock()
+	return snap
+}
+
+// MergeSnapshots folds several registry snapshots (typically one per node)
+// into one: histograms merge bucket-wise, counter totals add and rates sum,
+// gauges add (levels across nodes accumulate). The reported window is the
+// minimum of the inputs' windows — the span over which every input
+// contributed.
+func MergeSnapshots(snaps []RegistrySnapshot) RegistrySnapshot {
+	out := RegistrySnapshot{
+		Histograms: make(map[string]HistWindow),
+		Counters:   make(map[string]CounterSnap),
+		Gauges:     make(map[string]int64),
+	}
+	for _, s := range snaps {
+		if s.UnixNano > out.UnixNano {
+			out.UnixNano = s.UnixNano
+		}
+		if out.WindowSecs == 0 || (s.WindowSecs > 0 && s.WindowSecs < out.WindowSecs) {
+			out.WindowSecs = s.WindowSecs
+		}
+		for n, hw := range s.Histograms {
+			prev := out.Histograms[n]
+			out.Histograms[n] = HistWindow{
+				Cumulative: prev.Cumulative.Merge(hw.Cumulative),
+				Window:     prev.Window.Merge(hw.Window),
+			}
+		}
+		for n, c := range s.Counters {
+			prev := out.Counters[n]
+			out.Counters[n] = CounterSnap{
+				Total:      prev.Total + c.Total,
+				RatePerSec: prev.RatePerSec + c.RatePerSec,
+			}
+		}
+		for n, v := range s.Gauges {
+			out.Gauges[n] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package telemetry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileBucketBoundaries checks that quantiles land in the bucket the
+// recorded value maps to: the reported value is the bucket's upper-bound
+// representative, so it must be >= the true value and within one sub-bucket
+// width (1/bucketsPerOct relative error) above it.
+func TestQuantileBucketBoundaries(t *testing.T) {
+	values := []uint64{1, 2, 15, 16, 17, 100, 1000, 4095, 4096, 4097, 1 << 20}
+	for _, us := range values {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Record(time.Duration(us) * time.Microsecond)
+		}
+		d := h.Data()
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			got := uint64(d.Quantile(q).Microseconds())
+			if got < us {
+				t.Errorf("value %dus q=%v: quantile %dus below recorded value", us, q, got)
+			}
+			upper := float64(us) * (1 + 2.0/bucketsPerOct)
+			if float64(got) > upper+1 {
+				t.Errorf("value %dus q=%v: quantile %dus exceeds bucket bound %.1fus", us, q, got, upper)
+			}
+		}
+		// The quantile from HistData must agree with the live histogram's.
+		if d.Quantile(0.99) != h.Quantile(0.99) {
+			t.Errorf("value %dus: HistData p99 %v != Histogram p99 %v", us, d.Quantile(0.99), h.Quantile(0.99))
+		}
+	}
+}
+
+// TestQuantileOrdering checks p50 <= p99 <= p999 on a skewed distribution
+// and that each quantile separates the distribution where expected.
+func TestQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 990; i++ {
+		h.Record(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100 * time.Millisecond)
+	}
+	d := h.Data()
+	if d.Count != 1000 {
+		t.Fatalf("count = %d", d.Count)
+	}
+	p50, p99, p999 := d.Quantile(0.5), d.Quantile(0.99), d.Quantile(0.999)
+	if p50 > p99 || p99 > p999 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v", p50, p99, p999)
+	}
+	if p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p999 < 100*time.Millisecond {
+		t.Errorf("p999 = %v, want >= 100ms (the outlier bucket)", p999)
+	}
+}
+
+func histWith(samples []time.Duration, traces []uint64) HistData {
+	var h Histogram
+	for i, s := range samples {
+		var tr uint64
+		if i < len(traces) {
+			tr = traces[i]
+		}
+		h.RecordTraced(s, tr)
+	}
+	return h.Data()
+}
+
+// TestMergeCommutativeAssociative checks merge(a,b) == merge(b,a) and
+// merge(merge(a,b),c) == merge(a,merge(b,c)) including the derived fields
+// and exemplars.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	a := histWith([]time.Duration{time.Millisecond, 2 * time.Millisecond, 50 * time.Millisecond}, []uint64{0xa1, 0, 0xa3})
+	b := histWith([]time.Duration{time.Millisecond, 100 * time.Millisecond}, []uint64{0xb1, 0xb2})
+	c := histWith([]time.Duration{500 * time.Microsecond, 50 * time.Millisecond}, []uint64{0, 0xc2})
+
+	ab, ba := a.Merge(b), b.Merge(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not commutative:\nab=%+v\nba=%+v", ab, ba)
+	}
+	left, right := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n(ab)c=%+v\na(bc)=%+v", left, right)
+	}
+	if ab.Count != a.Count+b.Count {
+		t.Errorf("merged count %d != %d+%d", ab.Count, a.Count, b.Count)
+	}
+	if ab.SumUs != a.SumUs+b.SumUs {
+		t.Errorf("merged sum %d != %d+%d", ab.SumUs, a.SumUs, b.SumUs)
+	}
+	if ab.MaxUs != b.MaxUs {
+		t.Errorf("merged max %d, want %d", ab.MaxUs, b.MaxUs)
+	}
+	// Both a and c put a traced sample in the 50ms bucket; the merge must
+	// pick the lexicographically larger exemplar regardless of order.
+	acIdx := bucketIndex(uint64((50 * time.Millisecond).Microseconds()))
+	ac, ca := a.Merge(c), c.Merge(a)
+	if ac.Exemplars[acIdx] != ca.Exemplars[acIdx] {
+		t.Errorf("exemplar conflict not commutative: %q vs %q", ac.Exemplars[acIdx], ca.Exemplars[acIdx])
+	}
+}
+
+// TestSubWindowDelta checks that Sub recovers the samples recorded between
+// two snapshots.
+func TestSubWindowDelta(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	prev := h.Data()
+	for i := 0; i < 10; i++ {
+		h.Record(20 * time.Millisecond)
+	}
+	win := h.Data().Sub(prev)
+	if win.Count != 10 {
+		t.Fatalf("window count = %d, want 10", win.Count)
+	}
+	if got := win.Quantile(0.5); got < 20*time.Millisecond {
+		t.Errorf("window p50 = %v, want >= 20ms (old 1ms samples must not leak in)", got)
+	}
+	if win.SumUs != 10*20000 {
+		t.Errorf("window sum = %dus, want 200000us", win.SumUs)
+	}
+}
+
+// TestRecordWithIntendedBackfill checks the coordinated-omission correction
+// with a fixed clock: a stall spanning k intended intervals must record the
+// total plus k-1 decreasing synthetic samples.
+func TestRecordWithIntendedBackfill(t *testing.T) {
+	base := time.Unix(1000, 0)
+
+	// No omission: intended == start records exactly one sample.
+	var h1 Histogram
+	h1.recordWithIntendedAt(base.Add(10*time.Millisecond), base, base)
+	if n := h1.Count(); n != 1 {
+		t.Fatalf("no-omission count = %d, want 1", n)
+	}
+	if got := h1.Quantile(1); got < 10*time.Millisecond || got > 11*time.Millisecond {
+		t.Fatalf("no-omission sample = %v, want ~10ms", got)
+	}
+
+	// Intended after start (scheduler ran early): also a single sample.
+	var h2 Histogram
+	h2.recordWithIntendedAt(base.Add(10*time.Millisecond), base, base.Add(time.Millisecond))
+	if n := h2.Count(); n != 1 {
+		t.Fatalf("intended-after-start count = %d, want 1", n)
+	}
+
+	// 100ms of omission before a 10ms service time: record total=110ms,
+	// then backfill 100, 90, ..., 10 — eleven samples in all.
+	var h3 Histogram
+	start := base.Add(100 * time.Millisecond)
+	h3.recordWithIntendedAt(start.Add(10*time.Millisecond), start, base)
+	if n := h3.Count(); n != 11 {
+		t.Fatalf("backfill count = %d, want 11", n)
+	}
+	if got := h3.Max(); got < 110*time.Millisecond {
+		t.Errorf("backfill max = %v, want >= 110ms (the total intended-to-finish time)", got)
+	}
+	if got := h3.Quantile(0); got > 11*time.Millisecond {
+		t.Errorf("backfill min = %v, want ~10ms (the last synthetic sample)", got)
+	}
+
+	// Zero-duration service time must not spin: interval clamps to 1us and
+	// the backfill loop is bounded by maxBackfill.
+	var h4 Histogram
+	h4.recordWithIntendedAt(base.Add(time.Second), base.Add(time.Second), base)
+	if n := h4.Count(); n == 0 || n > maxBackfill+1 {
+		t.Fatalf("zero-duration backfill count = %d, want in [1, %d]", n, maxBackfill+1)
+	}
+}
+
+// TestExemplarRecorded checks that a traced observation leaves its trace ID
+// on the bucket it landed in, and untraced observations do not.
+func TestExemplarRecorded(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.RecordTraced(50*time.Millisecond, 0xdeadbeef)
+	h.RecordTraced(time.Millisecond, 0) // untraced: no exemplar
+	d := h.Data()
+	idx := bucketIndex(uint64((50 * time.Millisecond).Microseconds()))
+	if d.Exemplars[idx] != "00000000deadbeef" {
+		t.Fatalf("exemplar = %q, want 00000000deadbeef (exemplars: %v)", d.Exemplars[idx], d.Exemplars)
+	}
+	if len(d.Exemplars) != 1 {
+		t.Fatalf("exemplars = %v, want only the traced bucket", d.Exemplars)
+	}
+}
+
+// TestRegistrySnapshotWindows checks that Snapshot reports cumulative and
+// windowed views and rotates the window once it has run long enough.
+func TestRegistrySnapshotWindows(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("op")
+	c := r.Counter("ops")
+	for i := 0; i < 50; i++ {
+		h.Record(time.Millisecond)
+		c.Inc()
+	}
+
+	// Let the first window run past its 1ms length so s1 rotates it.
+	time.Sleep(2 * time.Millisecond)
+	s1 := r.Snapshot(time.Millisecond, map[string]uint64{"extern": 100})
+	if s1.Histograms["op"].Cumulative.Count != 50 || s1.Histograms["op"].Window.Count != 50 {
+		t.Fatalf("first snapshot: %+v", s1.Histograms["op"])
+	}
+	if s1.Counters["ops"].Total != 50 || s1.Counters["ops"].RatePerSec <= 0 {
+		t.Fatalf("first counter snap: %+v", s1.Counters["ops"])
+	}
+	if s1.Counters["extern"].Total != 100 {
+		t.Fatalf("extra counter not folded in: %+v", s1.Counters)
+	}
+
+	// The 1ms window above has elapsed, so s1 rotated it. New samples land
+	// in the fresh window only.
+	time.Sleep(2 * time.Millisecond)
+	for i := 0; i < 7; i++ {
+		h.Record(30 * time.Millisecond)
+		c.Inc()
+	}
+	s2 := r.Snapshot(time.Millisecond, map[string]uint64{"extern": 104})
+	hw := s2.Histograms["op"]
+	if hw.Cumulative.Count != 57 {
+		t.Fatalf("cumulative count = %d, want 57", hw.Cumulative.Count)
+	}
+	if hw.Window.Count != 7 {
+		t.Fatalf("window count = %d, want 7 (window did not rotate)", hw.Window.Count)
+	}
+	if got := hw.Window.Quantile(0.5); got < 30*time.Millisecond {
+		t.Errorf("window p50 = %v, want >= 30ms", got)
+	}
+	if s2.Counters["ops"].Total != 57 {
+		t.Errorf("counter total = %d, want 57", s2.Counters["ops"].Total)
+	}
+	if s2.Counters["extern"].Total != 104 {
+		t.Errorf("extern total = %d, want 104", s2.Counters["extern"].Total)
+	}
+	if s2.WindowSecs <= 0 {
+		t.Errorf("window secs = %v", s2.WindowSecs)
+	}
+}
+
+// TestMergeSnapshots checks cross-node snapshot aggregation: counters add,
+// rates sum, gauges add, histograms merge, window is the minimum.
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(n uint64, win float64) RegistrySnapshot {
+		var h Histogram
+		for i := uint64(0); i < n; i++ {
+			h.Record(time.Millisecond)
+		}
+		d := h.Data()
+		return RegistrySnapshot{
+			WindowSecs: win,
+			Histograms: map[string]HistWindow{"op": {Cumulative: d, Window: d}},
+			Counters:   map[string]CounterSnap{"ops": {Total: n, RatePerSec: float64(n) / win}},
+			Gauges:     map[string]int64{"inflight": int64(n)},
+		}
+	}
+	m := MergeSnapshots([]RegistrySnapshot{mk(10, 10), mk(30, 5)})
+	if m.Histograms["op"].Window.Count != 40 {
+		t.Errorf("merged window count = %d, want 40", m.Histograms["op"].Window.Count)
+	}
+	if m.Counters["ops"].Total != 40 {
+		t.Errorf("merged total = %d, want 40", m.Counters["ops"].Total)
+	}
+	if got := m.Counters["ops"].RatePerSec; got != 10.0/10+30.0/5 {
+		t.Errorf("merged rate = %v, want 7", got)
+	}
+	if m.Gauges["inflight"] != 40 {
+		t.Errorf("merged gauge = %d, want 40", m.Gauges["inflight"])
+	}
+	if m.WindowSecs != 5 {
+		t.Errorf("merged window = %v, want 5 (minimum)", m.WindowSecs)
+	}
+}
+
+// TestConcurrentRecordSnapshot hammers one registry with recorders while
+// snapshotting; run under -race this is the data-race guard, and the final
+// snapshot must balance exactly.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("op")
+	c := r.Counter("ops")
+	const workers = 4
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.RecordTraced(time.Duration(i%1000)*time.Microsecond, uint64(w*perWorker+i))
+				c.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot(time.Millisecond, nil)
+			hw := s.Histograms["op"]
+			// Count is derived from the buckets, so it can never exceed
+			// what has been recorded, and windows never go negative.
+			if hw.Cumulative.Count > workers*perWorker {
+				t.Errorf("cumulative count %d > recorded %d", hw.Cumulative.Count, workers*perWorker)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	final := r.Snapshot(time.Millisecond, nil)
+	if got := final.Histograms["op"].Cumulative.Count; got != workers*perWorker {
+		t.Fatalf("final count = %d, want %d", got, workers*perWorker)
+	}
+	if got := final.Counters["ops"].Total; got != workers*perWorker {
+		t.Fatalf("final counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestDisabledTelemetryZeroAlloc is the guard for the "telemetry off costs
+// nothing" claim: a nil tracer's span lifecycle and the untraced RecordTraced
+// path must not allocate.
+func TestDisabledTelemetryZeroAlloc(t *testing.T) {
+	var tr *Tracer // nil: permanently disabled
+	ctx := SpanContext{}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan(ctx, "invoke")
+		sp.Finish()
+	}); n != 0 {
+		t.Errorf("disabled tracer StartSpan/Finish allocates %.1f/op", n)
+	}
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		h.RecordTraced(time.Millisecond, 0)
+	}); n != 0 {
+		t.Errorf("untraced RecordTraced allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(time.Millisecond)
+	}); n != 0 {
+		t.Errorf("Record allocates %.1f/op", n)
+	}
+}
