@@ -9,12 +9,13 @@
 #   make bench-read   read-path per-layer ablation sweep (JSON artifact)
 #   make bench-obs    telemetry overhead: off / metrics / metrics+tracing (JSON artifact)
 #   make bench-recovery  rejoin cost, digest diff vs full resync (JSON artifact)
+#   make bench-rebalance many-group placement + Zipf hot-spot convergence (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance vet check clean
 
 all: build
 
@@ -28,7 +29,7 @@ test:
 # cluster node, the caches on the read path, the store, and the telemetry
 # instruments themselves.
 race:
-	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/
+	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/
 
 # Deterministic failover chaos: every seed replays the same kill/partition/
 # fsync-failure schedule (see EXPERIMENTS.md "Chaos runs"). The smoke
@@ -63,6 +64,14 @@ bench-obs:
 # artifact shows streamed bytes track divergence, not store size.
 bench-recovery:
 	$(GO) run ./cmd/lambda-bench -recovery -out results/BENCH_recovery.json
+
+# Rebalance: uniform Post throughput at 1/4/16/48 single-node groups
+# (per-node admission modeled with an injected per-frame receive delay),
+# then the Zipf(1.1) correlated hot spot at 16 groups with the rebalancer
+# off vs on. The acceptance bar is >=1.5x from rebalancing and a move
+# count that plateaus instead of oscillating.
+bench-rebalance:
+	$(GO) run ./cmd/lambda-bench -rebalance -accounts 512 -concurrency 64 -ops 3000 -out results/BENCH_rebalance.json
 
 vet:
 	@fmt_out=$$(gofmt -l .); \

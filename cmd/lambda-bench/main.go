@@ -11,6 +11,7 @@
 //	lambda-bench -read-path               read-path layer ablations (GetTimeline)
 //	lambda-bench -obs                     telemetry overhead: off / metrics / metrics+tracing
 //	lambda-bench -recovery                rejoin cost: digest diff vs full resync
+//	lambda-bench -rebalance               many-group placement + Zipf hot-spot convergence
 //	lambda-bench -all                     everything
 package main
 
@@ -38,6 +39,7 @@ func main() {
 		readPath    = flag.Bool("read-path", false, "run the read-path ablation sweep (GetTimeline at 1/8/64 clients)")
 		obs         = flag.Bool("obs", false, "run the observability-overhead sweep (telemetry off / metrics / metrics+tracing)")
 		recov       = flag.Bool("recovery", false, "run the rejoin benchmark (range-digest diff vs full resync)")
+		rebal       = flag.Bool("rebalance", false, "run the rebalance benchmark (throughput vs groups, Zipf hot-spot convergence)")
 		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -144,6 +146,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunRecovery(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: recovery: %v", err)
+		}
+		fmt.Println()
+	}
+	if *rebal {
+		ran = true
+		if _, err := bench.RunRebalance(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: rebalance: %v", err)
 		}
 		fmt.Println()
 	}

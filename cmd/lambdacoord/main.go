@@ -24,7 +24,9 @@ import (
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/debug"
 	"lambdastore/internal/paxos"
+	"lambdastore/internal/rebalance"
 	"lambdastore/internal/rpc"
+	"lambdastore/internal/shard"
 	"lambdastore/internal/telemetry"
 )
 
@@ -59,8 +61,10 @@ func main() {
 		peers     = flag.String("peers", "", "all replicas as id=addr,... (including self)")
 		hbTimeout = flag.Duration("heartbeat-timeout", 2*time.Second, "declare a node dead after this silence")
 		dataDir   = flag.String("data", "", "directory for the durable acceptor log (strongly recommended)")
-		debugAddr = flag.String("debug", "", "debug HTTP address for /metrics, /cluster/metrics, /healthz, pprof (empty disables)")
+		debugAddr = flag.String("debug", "", "debug HTTP address for /metrics, /cluster/metrics, /rebalance, /healthz, pprof (empty disables)")
 		scrape    = flag.Duration("scrape-interval", coordinator.DefaultScrapeInterval, "member metrics scrape period for /cluster/metrics")
+		rebalInt  = flag.Duration("rebalance-interval", 0, "load-aware rebalancer observation window; 0 disables (enable on ONE replica only)")
+		rebalDry  = flag.Bool("rebalance-dry-run", false, "plan and record migrations without executing them")
 	)
 	flag.Parse()
 	if *id == 0 || *peers == "" {
@@ -108,15 +112,65 @@ func main() {
 	svc.Start()
 	log.Printf("lambdacoord: replica %d serving on %s (%d peers)", *id, bound, len(peerIDs))
 
-	var dbg *debug.Server
 	var agg *coordinator.Aggregator
 	if *debugAddr != "" {
 		agg = coordinator.NewAggregator(svc, *scrape)
 		agg.Start()
-		dbg, err = debug.Start(*debugAddr, debug.Options{
+	}
+
+	// The load-aware rebalancer: samples every primary's windowed hot-object
+	// counters, folds in the aggregator's tail-latency rollups, and moves
+	// hot microshards through the live-migration machinery. Cutovers are
+	// epoch-fenced through the replicated log, so a second replica running
+	// the planner cannot corrupt placement — but it would double the move
+	// traffic, hence "one replica only".
+	var reb *rebalance.Rebalancer
+	if *rebalInt > 0 {
+		ropts := rebalance.Options{
+			Pool:     pool,
+			Config:   func() (*shard.Directory, error) { return svc.Directory(), nil },
+			Interval: *rebalInt,
+			DryRun:   *rebalDry,
+			Metrics:  reg,
+			Log:      log.Printf,
+		}
+		if agg != nil {
+			ropts.Rollup = func() map[uint64]rebalance.GroupLoad {
+				snap := agg.Snapshot()
+				out := make(map[uint64]rebalance.GroupLoad, len(snap.Groups))
+				for _, g := range snap.Groups {
+					out[g.ID] = rebalance.GroupLoad{
+						ID:         g.ID,
+						P99Us:      g.P99Us,
+						QueueDepth: g.QueueDepth,
+					}
+				}
+				return out
+			}
+		}
+		reb = rebalance.New(ropts)
+		reb.Start()
+		log.Printf("lambdacoord: rebalancer on (window %v, dry-run %v)", *rebalInt, *rebalDry)
+	}
+
+	var dbg *debug.Server
+	if *debugAddr != "" {
+		opts := debug.Options{
 			Registry: reg,
 			Cluster:  func() any { return agg.Snapshot() },
-		})
+			Gauges: func() map[string]uint64 {
+				cutovers, compacted, overrides := svc.MigrationCounts()
+				return map[string]uint64{
+					"coord.migrations.cutovers":  cutovers,
+					"coord.migrations.compacted": compacted,
+					"coord.directory.overrides":  uint64(overrides),
+				}
+			},
+		}
+		if reb != nil {
+			opts.Rebalance = func() any { return reb.Status() }
+		}
+		dbg, err = debug.Start(*debugAddr, opts)
 		if err != nil {
 			log.Fatalf("lambdacoord: debug: %v", err)
 		}
@@ -129,6 +183,9 @@ func main() {
 	log.Printf("lambdacoord: shutting down")
 	if dbg != nil {
 		dbg.Close()
+	}
+	if reb != nil {
+		reb.Close()
 	}
 	if agg != nil {
 		agg.Close()

@@ -112,6 +112,46 @@ func TestChaosRestartRejoin(t *testing.T) {
 		rep.AckedTotal, rep.FailedOps, rep.RecoveryAttempts)
 }
 
+// TestChaosMigrateUnderChaos drives a live object migration into a
+// source-primary crash: the transfer is slowed so the kill lands inside
+// it, and the move must either abort cleanly (object stays with the
+// promoted group 0 backup, the target's janitor reclaims the partial
+// copy) or commit cleanly (the target group serves it) — with every
+// acknowledged write intact either way.
+func TestChaosMigrateUnderChaos(t *testing.T) {
+	c, err := Start(Options{
+		BaseDir:         t.TempDir(),
+		ExtraGroupNodes: 1,
+		// Tight janitor so an aborted move's partial copy is reclaimed
+		// within the test's patience.
+		MoveSessionTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("chaos start: %v", err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		fault.Reset()
+	})
+	rep, err := Run(c, RunOptions{
+		Seed:      0x317a,
+		Scenarios: []Scenario{ScenarioMigrateUnderChaos},
+		BurstOps:  15,
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if rep.ExpectedPromotions != 1 {
+		t.Fatalf("expected 1 promotion, schedule produced %d", rep.ExpectedPromotions)
+	}
+	if rep.AckedTotal == 0 {
+		t.Fatal("no writes acknowledged")
+	}
+	t.Logf("migrate-under-chaos: %d acked, %d failed, recovery attempts %v",
+		rep.AckedTotal, rep.FailedOps, rep.RecoveryAttempts)
+}
+
 func fmt_seed(s uint64) string {
 	const hex = "0123456789abcdef"
 	buf := []byte("seed-0x")

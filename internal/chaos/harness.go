@@ -42,6 +42,14 @@ type Options struct {
 	// RejoinMaxBytesPerSec rate-limits recovery chunk streaming on every
 	// node (0 = unlimited).
 	RejoinMaxBytesPerSec int
+	// ExtraGroupNodes, when > 0, adds a second replica group (ID 1) of
+	// that many nodes — the target side of live-migration scenarios.
+	// Zero keeps the classic single-group topology.
+	ExtraGroupNodes int
+	// MoveSessionTimeout tunes the nodes' inbound-move janitor (how long
+	// an abandoned migration session may sit before its partial copy is
+	// reclaimed). Zero keeps the node default.
+	MoveSessionTimeout time.Duration
 }
 
 func (o *Options) defaults() {
@@ -68,6 +76,7 @@ func (o *Options) defaults() {
 type nodeSlot struct {
 	addr    string
 	dataDir string
+	group   uint64
 	node    *cluster.Node // nil while down
 }
 
@@ -125,14 +134,21 @@ func Start(opts Options) (*Cluster, error) {
 	}
 
 	// Storage nodes: durable WAL so a restart is a real crash recovery.
-	for i := 0; i < opts.Nodes; i++ {
+	// Group 0 gets opts.Nodes members; an optional second group (ID 1)
+	// gets opts.ExtraGroupNodes members for migration scenarios.
+	total := opts.Nodes + opts.ExtraGroupNodes
+	for i := 0; i < total; i++ {
+		gid := uint64(0)
+		if i >= opts.Nodes {
+			gid = 1
+		}
 		dataDir := filepath.Join(opts.BaseDir, fmt.Sprintf("node%d", i))
 		if err := os.MkdirAll(dataDir, 0o755); err != nil {
 			c.Close()
 			return nil, err
 		}
-		slot := &nodeSlot{dataDir: dataDir}
-		node, err := cluster.StartNode(c.nodeOptions("127.0.0.1:0", dataDir))
+		slot := &nodeSlot{dataDir: dataDir, group: gid}
+		node, err := cluster.StartNode(c.nodeOptions("127.0.0.1:0", dataDir, gid))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("chaos: start node %d: %w", i, err)
@@ -142,15 +158,26 @@ func Start(opts Options) (*Cluster, error) {
 		c.slots = append(c.slots, slot)
 	}
 
-	// Group configuration through the coordinator (first node primary).
+	// Group configuration through the coordinator (first node of each
+	// group primary).
 	cc := coordinator.NewClient(c.pool, c.coordAddrs)
 	g := shard.Group{ID: 0, Primary: c.slots[0].addr}
-	for _, s := range c.slots[1:] {
+	for _, s := range c.slots[1:opts.Nodes] {
 		g.Backups = append(g.Backups, s.addr)
 	}
 	if err := cc.SetGroup(g); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("chaos: set group: %w", err)
+	}
+	if opts.ExtraGroupNodes > 0 {
+		g1 := shard.Group{ID: 1, Primary: c.slots[opts.Nodes].addr}
+		for _, s := range c.slots[opts.Nodes+1:] {
+			g1.Backups = append(g1.Backups, s.addr)
+		}
+		if err := cc.SetGroup(g1); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("chaos: set group 1: %w", err)
+		}
 	}
 
 	client, err := cluster.NewClient(cluster.ClientConfig{
@@ -237,17 +264,18 @@ func (c *Cluster) Kill(i int) error {
 // start and restart) uses: durable WAL, coordinator-managed, and the
 // anti-entropy rejoin manager armed so any node that finds itself
 // outside its group catches up from the primary and re-admits itself.
-func (c *Cluster) nodeOptions(addr, dataDir string) cluster.NodeOptions {
+func (c *Cluster) nodeOptions(addr, dataDir string, group uint64) cluster.NodeOptions {
 	return cluster.NodeOptions{
 		Addr:                   addr,
 		DataDir:                dataDir,
 		Store:                  &store.Options{SyncWrites: true},
-		GroupID:                0,
+		GroupID:                group,
 		Coordinators:           c.coordAddrs,
 		HeartbeatInterval:      c.opts.HeartbeatInterval,
 		Rejoin:                 true,
 		RecoveryFullResync:     c.opts.RejoinFullResync,
 		RecoveryMaxBytesPerSec: c.opts.RejoinMaxBytesPerSec,
+		MoveSessionTimeout:     c.opts.MoveSessionTimeout,
 	}
 }
 
@@ -262,7 +290,7 @@ func (c *Cluster) Restart(i int) error {
 	if s.node != nil {
 		return fmt.Errorf("chaos: node %d already up", i)
 	}
-	node, err := cluster.StartNode(c.nodeOptions(s.addr, s.dataDir))
+	node, err := cluster.StartNode(c.nodeOptions(s.addr, s.dataDir, s.group))
 	if err != nil {
 		return fmt.Errorf("chaos: restart node %d: %w", i, err)
 	}
@@ -321,18 +349,49 @@ func (c *Cluster) waitGroup(timeout time.Duration, what string, cond func(shard.
 // Group returns the current group 0 configuration as the coordinator
 // majority sees it.
 func (c *Cluster) Group() (shard.Group, error) {
+	return c.GroupByID(0)
+}
+
+// GroupByID returns one group's current configuration as the
+// coordinator majority sees it.
+func (c *Cluster) GroupByID(id uint64) (shard.Group, error) {
 	cc := coordinator.NewClient(c.pool, c.coordAddrs)
 	d, err := cc.GetConfig()
 	if err != nil {
 		return shard.Group{}, err
 	}
 	for _, g := range d.Groups() {
-		if g.ID == 0 {
+		if g.ID == id {
 			return g, nil
 		}
 	}
-	return shard.Group{}, fmt.Errorf("chaos: group 0 not configured")
+	return shard.Group{}, fmt.Errorf("chaos: group %d not configured", id)
 }
+
+// GroupFor resolves the group currently serving an object (overrides
+// included) on the coordinator majority's view.
+func (c *Cluster) GroupFor(object uint64) (shard.Group, error) {
+	cc := coordinator.NewClient(c.pool, c.coordAddrs)
+	d, err := cc.GetConfig()
+	if err != nil {
+		return shard.Group{}, err
+	}
+	return d.Lookup(object)
+}
+
+// GroupNodes counts the harness slots configured into one group.
+func (c *Cluster) GroupNodes(id uint64) int {
+	n := 0
+	for _, s := range c.slots {
+		if s.group == id {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeGroup returns the group node i was configured into.
+func (c *Cluster) NodeGroup(i int) uint64 { return c.slots[i].group }
 
 // RefreshClientConfig force-feeds the client the coordinator majority's
 // current configuration (the client otherwise refreshes lazily on

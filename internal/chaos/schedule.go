@@ -41,6 +41,15 @@ const (
 	ScenarioRestartRejoin
 
 	numScenarios
+
+	// ScenarioMigrateUnderChaos kills the source primary in the middle
+	// of a live object migration: the move must either abort cleanly
+	// (the target's janitor reclaims the partial copy) or commit cleanly
+	// (the object is served by the target group), never both or neither.
+	// It needs a second replica group (Options.ExtraGroupNodes) so it is
+	// NOT part of AllScenarios — default schedules and their seeds are
+	// unchanged; run it explicitly via RunOptions.Scenarios.
+	ScenarioMigrateUnderChaos Scenario = numScenarios
 )
 
 // AllScenarios lists every scenario in declaration order.
@@ -67,6 +76,8 @@ func (s Scenario) String() string {
 		return "dup-delay"
 	case ScenarioRestartRejoin:
 		return "restart-rejoin"
+	case ScenarioMigrateUnderChaos:
+		return "migrate-under-chaos"
 	}
 	return fmt.Sprintf("scenario(%d)", int(s))
 }
@@ -272,6 +283,9 @@ func (r *runner) runScenario(s Scenario) error {
 	if s == ScenarioRestartRejoin {
 		return r.runRestartRejoin()
 	}
+	if s == ScenarioMigrateUnderChaos {
+		return r.runMigrateUnderChaos()
+	}
 	r.burst(r.opts.BurstOps)
 
 	pi, err := r.c.PrimaryIndex()
@@ -457,6 +471,197 @@ func (r *runner) runRestartRejoin() error {
 	return nil
 }
 
+// runMigrateUnderChaos live-migrates a workload object from group 0 to
+// group 1 and kills the source primary with the transfer in flight
+// (frames into the target are delayed so the kill reliably lands inside
+// the move). The move must resolve to exactly one owner: either the
+// cutover never committed — the object stays with group 0's promoted
+// backup and the target's janitor reclaims the partial copy — or it
+// committed and the target group serves the object. Either way every
+// acknowledged write must survive, which the end-of-run verifier checks
+// against whichever group the directory settles on.
+func (r *runner) runMigrateUnderChaos() error {
+	if r.c.GroupNodes(1) == 0 {
+		return fmt.Errorf("migrate-under-chaos needs a second group (Options.ExtraGroupNodes)")
+	}
+	r.burst(r.opts.BurstOps)
+
+	// Pick a workload object currently served by group 0.
+	var obj core.ObjectID
+	for _, o := range r.objects {
+		g, err := r.c.GroupFor(uint64(o))
+		if err != nil {
+			return err
+		}
+		if g.ID == 0 {
+			obj = o
+			break
+		}
+	}
+	if obj == 0 {
+		return fmt.Errorf("no workload object served by group 0")
+	}
+	pi, err := r.c.PrimaryIndex()
+	if err != nil {
+		return fmt.Errorf("resolve primary: %w", err)
+	}
+	g1, err := r.c.GroupByID(1)
+	if err != nil {
+		return err
+	}
+	ti := -1
+	for i := 0; i < r.c.Nodes(); i++ {
+		if r.c.NodeAddr(i) == g1.Primary {
+			ti = i
+		}
+	}
+	if ti < 0 {
+		return fmt.Errorf("target primary %s is not a harness node", g1.Primary)
+	}
+
+	// Phase A — abort mid-transfer. Frames into the target crawl (25ms
+	// each), so the transfer is provably in flight 30ms in; hard-failing
+	// the target's inbound RPCs then kills the next chunk or seal. The
+	// source's abort RPC fails with them, leaving a dangling inbound
+	// session the target's janitor must reclaim.
+	fault.Add(fault.Rule{Site: fault.SiteRPCRecv, Key: g1.Primary, Action: fault.Delay, Delay: 25 * time.Millisecond, P: 1})
+	moveDone := make(chan error, 1)
+	go func() { moveDone <- r.client.Migrate(obj, 1) }()
+	time.Sleep(30 * time.Millisecond)
+	fault.Add(fault.Rule{Site: fault.SiteRPCRecv, Key: g1.Primary, Action: fault.Error, Err: "injected target failure"})
+	moveErr := <-moveDone
+	fault.Remove(fault.SiteRPCRecv, g1.Primary)
+	r.opts.Log("chaos: migrate of object %d into a failing target returned: %v", obj, moveErr)
+	if moveErr == nil {
+		// The move outran the injection (should not happen under the
+		// frame delay); park the object back so phase B starts at group 0.
+		if err := r.client.Migrate(obj, 0); err != nil {
+			return fmt.Errorf("move unexpectedly committed and could not be undone: %w", err)
+		}
+	} else {
+		owner, err := r.c.GroupFor(uint64(obj))
+		if err != nil {
+			return err
+		}
+		if owner.ID != 0 {
+			return fmt.Errorf("aborted move left object %d on group %d", obj, owner.ID)
+		}
+		// Janitor reclaim: the dangling session (and any partial copy)
+		// must be gone within the session timeout.
+		deadline := time.Now().Add(r.opts.RejoinTimeout)
+		for r.c.Node(ti).MoveSessions() != 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("target janitor never reclaimed the dangling move session")
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		if err := r.awaitObjectAbsent(obj, 1); err != nil {
+			return err
+		}
+		// The aborted move must have left the object fully serviceable.
+		if err := r.awaitWriteObject(obj); err != nil {
+			return err
+		}
+	}
+
+	// Phase B — crash the source primary with the transfer in flight.
+	// The harness kill drains in-flight handlers (a graceful close), so
+	// the move races node teardown; whichever way it resolves, the
+	// directory must name exactly one owner.
+	fault.Add(fault.Rule{Site: fault.SiteRPCRecv, Key: g1.Primary, Action: fault.Delay, Delay: 25 * time.Millisecond, P: 1})
+	moveDone = make(chan error, 1)
+	go func() { moveDone <- r.client.Migrate(obj, 1) }()
+	time.Sleep(30 * time.Millisecond)
+
+	r.report.ExpectedPromotions++
+	if err := r.c.Kill(pi); err != nil {
+		return err
+	}
+	moveErr = <-moveDone
+	fault.Remove(fault.SiteRPCRecv, g1.Primary)
+	r.opts.Log("chaos: migrate of object %d against a primary crash returned: %v", obj, moveErr)
+
+	r.burst(r.opts.BurstOps)
+	if err := r.awaitPromotions(r.report.ExpectedPromotions); err != nil {
+		return err
+	}
+	if err := r.c.Restart(pi); err != nil {
+		return err
+	}
+	attempts, err := r.awaitWrite()
+	r.report.RecoveryAttempts = append(r.report.RecoveryAttempts, attempts)
+	if err != nil {
+		return fmt.Errorf("availability not restored after %d attempts: %w", attempts, err)
+	}
+
+	// Exactly one owner. The losing side must shed its copy: on an abort
+	// the target's janitor reclaims the partial range; on an acknowledged
+	// commit the source deleted the range (and shipped the delete to its
+	// backups) before the move reported success.
+	owner, err := r.c.GroupFor(uint64(obj))
+	if err != nil {
+		return err
+	}
+	r.opts.Log("chaos: object %d settled on group %d", obj, owner.ID)
+	if owner.ID == 0 {
+		if err := r.awaitObjectAbsent(obj, 1); err != nil {
+			return err
+		}
+	} else if moveErr == nil {
+		if err := r.awaitObjectAbsent(obj, 0); err != nil {
+			return err
+		}
+	}
+	// The migrated object itself accepts writes wherever it settled.
+	if err := r.awaitWriteObject(obj); err != nil {
+		return err
+	}
+	r.opts.Log("chaos: migrate-under-chaos settled after %d recovery attempts", attempts)
+	return nil
+}
+
+// awaitObjectAbsent polls the live members of one group until none of
+// them holds the object's state.
+func (r *runner) awaitObjectAbsent(obj core.ObjectID, group uint64) error {
+	deadline := time.Now().Add(r.opts.RejoinTimeout)
+	for {
+		stray := ""
+		for i := 0; i < r.c.Nodes(); i++ {
+			if r.c.NodeGroup(i) != group || !r.c.Alive(i) {
+				continue
+			}
+			if _, err := r.c.Node(i).Runtime().GetValueField(obj, "log"); err == nil {
+				stray = r.c.NodeAddr(i)
+				break
+			}
+		}
+		if stray == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("object %d still held by non-owner %s (group %d)", obj, stray, group)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// awaitWriteObject retries appends against one specific object until
+// one is acknowledged.
+func (r *runner) awaitWriteObject(obj core.ObjectID) error {
+	var lastErr error
+	for attempt := 1; attempt <= r.opts.MaxRecoveryAttempts; attempt++ {
+		id := r.nextID
+		r.nextID++
+		if _, lastErr = r.client.Invoke(obj, "append", [][]byte{core.I64Bytes(int64(id))}); lastErr == nil {
+			r.report.Acked[obj] = append(r.report.Acked[obj], id)
+			r.report.AckedTotal++
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("object %d never accepted writes again: %w", obj, lastErr)
+}
+
 // waitFullMembership blocks until every harness node is alive and a
 // member of group 0 (pending heal-time rejoins have completed).
 func (r *runner) waitFullMembership() error {
@@ -468,7 +673,7 @@ func (r *runner) waitFullMembership() error {
 	deadline := time.Now().Add(r.opts.RejoinTimeout)
 	for {
 		g, err := r.c.Group()
-		if err == nil && g.Primary != "" && len(g.Backups) == r.c.Nodes()-1 {
+		if err == nil && g.Primary != "" && len(g.Backups) == r.c.GroupNodes(0)-1 {
 			return nil
 		}
 		if time.Now().After(deadline) {
@@ -561,14 +766,16 @@ func (r *runner) verify() error {
 		time.Sleep(25 * time.Millisecond)
 	}
 
-	g, err := r.c.Group()
-	if err != nil {
-		return err
-	}
 	for _, obj := range r.objects {
 		acked := r.report.Acked[obj]
 		if len(acked) == 0 {
 			continue
+		}
+		// Resolve the object's owning group — a migration scenario may
+		// have moved it off group 0.
+		g, err := r.c.GroupFor(uint64(obj))
+		if err != nil {
+			return err
 		}
 		// Through the client (routed to the current primary).
 		var raw []byte

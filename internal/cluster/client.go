@@ -367,6 +367,11 @@ func (c *Client) RegisterType(t *core.ObjectType) error {
 
 // Migrate moves an object to the given group via its current primary.
 func (c *Client) Migrate(id core.ObjectID, destGroup uint64) error {
+	// A bootstrap directory (static config file) knows nothing about
+	// overrides installed by earlier migrations, so the "already there"
+	// check below would silently no-op a real move. Resolve the object's
+	// current primary against the coordinator's view when there is one.
+	c.refresh()
 	g, err := c.lookup(id)
 	if err != nil {
 		return err
@@ -391,9 +396,14 @@ func (c *Client) Migrate(id core.ObjectID, destGroup uint64) error {
 	if _, err := c.pool.Call(g.Primary, MethodMigrate, body); err != nil {
 		return err
 	}
-	// Keep the local view coherent for subsequent calls.
+	// Keep the local view coherent for subsequent calls. A move back to
+	// the object's hash home clears the override, mirroring the cutover.
 	c.dirMu.Lock()
-	c.dir.SetOverride(uint64(id), destGroup)
+	if home, herr := c.dir.DefaultGroupID(uint64(id)); herr == nil && home == destGroup {
+		c.dir.ClearOverride(uint64(id))
+	} else {
+		c.dir.SetOverride(uint64(id), destGroup)
+	}
 	c.dirMu.Unlock()
 	return nil
 }

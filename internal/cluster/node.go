@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,17 @@ type NodeOptions struct {
 	// RecoveryFullResync ablates the digest diff: catch-up streams every
 	// object the donor holds regardless of divergence (bench baseline).
 	RecoveryFullResync bool
+	// MaxConcurrentInvokes, when positive, bounds how many inbound
+	// invocations execute at once — an admission gate modeling per-node
+	// compute capacity. In-process multi-node benches share one CPU
+	// pool, so without this gate placement has no throughput effect;
+	// with it, a node saturates at its own limit the way a real machine
+	// saturates its cores.
+	MaxConcurrentInvokes int
+	// MoveSessionTimeout bounds inbound live-migration session
+	// inactivity before the target reclaims the partial copy (0 =
+	// default 10s; chaos tests shrink it).
+	MoveSessionTimeout time.Duration
 }
 
 // Node is one LambdaStore storage node: it persists objects, executes
@@ -99,6 +111,22 @@ type Node struct {
 	donor         *recovery.Donor
 	recmgr        *recovery.Manager
 	recmgrStarted bool
+	moveSrc       *recovery.MoveSource
+	moveTgt       *recovery.MoveTarget
+
+	// Object fences: while an outbound move quiesces an object, routing
+	// rejects it with not-responsible ahead of the admission queue. The
+	// atomic count keeps the routeCheck fast path to one load when no
+	// fence is up (the overwhelmingly common case). A fence outlives a
+	// successful cutover on purpose — it self-clears only once this
+	// node's directory view maps the object elsewhere, so a stale view
+	// can never let the old home serve post-move requests.
+	fenceCount atomic.Int32
+	fenceMu    sync.Mutex
+	fences     map[uint64]string
+
+	// invSem, when non-nil, is the MaxConcurrentInvokes admission gate.
+	invSem chan struct{}
 
 	dir    atomic.Pointer[shard.Directory]
 	stopMu sync.Mutex
@@ -151,6 +179,10 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		done:    make(chan struct{}),
 		metrics: reg,
 		tracer:  tracer,
+		fences:  make(map[uint64]string),
+	}
+	if opts.MaxConcurrentInvokes > 0 {
+		n.invSem = make(chan struct{}, opts.MaxConcurrentInvokes)
 	}
 	n.forwards = reg.Counter("cluster.forwards")
 	n.migrations = reg.Counter("cluster.migrations")
@@ -194,7 +226,13 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		}
 		// Relay the commit to any joiner mid-catch-up (strict sessions
 		// withhold the ack on failure, exactly like a real backup).
-		return n.donor.ForwardCommitCtx(ctx, uint64(obj), ws)
+		if err := n.donor.ForwardCommitCtx(ctx, uint64(obj), ws); err != nil {
+			return err
+		}
+		// Relay to an in-flight outbound move's target, if any (best
+		// effort: a lost relay is a forward gap the move's seal heals).
+		n.moveSrc.ForwardCommit(ctx, uint64(obj), ws)
+		return nil
 	}
 	n.rt, err = core.NewRuntime(db, rtOpts)
 	if err != nil {
@@ -230,6 +268,48 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		Tracer:         tracer,
 	})
 
+	// Live-migration plane: any primary can push one of its objects to
+	// another group (source) or receive one (target). Both reuse the
+	// recovery machinery's snapshot streaming and commit forwarding,
+	// scoped to a single microshard.
+	replApply := func(object uint64, b *store.Batch) error {
+		if err := n.rt.ApplyReplicated(core.ObjectID(object), b); err != nil {
+			return err
+		}
+		return n.shipper.Ship(object, b)
+	}
+	n.moveTgt = recovery.NewMoveTarget(recovery.MoveTargetOptions{
+		DB:    db,
+		Apply: replApply,
+		Owns: func(object uint64) bool {
+			g, err := n.dir.Load().Lookup(object)
+			return err == nil && g.ID == n.opts.GroupID
+		},
+		InstallDirectory: func(snap []byte) {
+			if d, err := shard.Load(snap); err == nil && d.Epoch() > n.dir.Load().Epoch() {
+				n.SetDirectory(d)
+			}
+		},
+		SessionTimeout: opts.MoveSessionTimeout,
+		Metrics:        hotReg,
+	})
+	n.moveSrc = recovery.NewMoveSource(recovery.MoveSourceOptions{
+		DB:        db,
+		Pool:      n.pool,
+		Epoch:     func() uint64 { return n.dir.Load().Epoch() },
+		IsPrimary: n.isPrimary,
+		LockObject: func(object uint64) (func(), error) {
+			return n.rt.LockObject(core.ObjectID(object))
+		},
+		Fence:       n.fenceObject,
+		Unfence:     n.unfenceObject,
+		CutOver:     n.cutOverObject,
+		Apply:       replApply,
+		DirSnapshot: func() []byte { return n.dir.Load().Snapshot() },
+		Metrics:     hotReg,
+		Tracer:      tracer,
+	})
+
 	n.registerHandlers()
 	addr, err := n.srv.Serve(opts.Addr)
 	if err != nil {
@@ -239,6 +319,7 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	n.addr = addr
 	tracer.SetNode(addr)
 	n.recmgr.SetSelf(addr)
+	n.moveSrc.SetSelf(addr)
 	// Identify this node's outbound connections to the fault plane so link
 	// partitions can name both endpoints.
 	n.pool.SetFaultLabel(addr)
@@ -351,6 +432,11 @@ func (n *Node) SetDirectory(d *shard.Directory) {
 // Forwarded returns how many cross-object invocations left this node.
 func (n *Node) Forwarded() uint64 { return n.forwarded.Load() }
 
+// MoveSessions reports the inbound live-migration sessions currently
+// open on this node (a non-zero count after a failed move means the
+// janitor has not yet reclaimed the partial copy).
+func (n *Node) MoveSessions() int { return n.moveTgt.Sessions() }
+
 // Metrics returns the node's telemetry registry.
 func (n *Node) Metrics() *telemetry.Registry { return n.metrics }
 
@@ -400,6 +486,12 @@ func (n *Node) debugGauges() map[string]uint64 {
 	out["core.pool_cold"] = cold
 	out["cluster.forwarded"] = n.forwarded.Load()
 	out["repl.shipped_total"] = n.shipper.Shipped()
+	d := n.dir.Load()
+	out["shard.overrides"] = uint64(d.OverrideCount())
+	out["shard.overrides_redundant"] = uint64(d.RedundantOverrides())
+	out["cluster.fenced_objects"] = uint64(n.fenceCount.Load())
+	out["move.in_flight"] = uint64(n.moveSrc.InFlight())
+	out["move.inbound_sessions"] = uint64(n.moveTgt.Sessions())
 	if fault.Enabled() {
 		// The plane is process-global; every node's /metrics shows the same
 		// injected-fault truth, keyed fault.<site>.<action>.
@@ -502,10 +594,116 @@ func (n *Node) Close() error {
 	if n.debugSrv != nil {
 		n.debugSrv.Close()
 	}
+	n.moveTgt.Close()
 	n.srv.Close()
 	n.shipper.Close()
 	n.pool.Close()
 	return n.db.Close()
+}
+
+// fenceObject makes routing reject the object with not-responsible
+// plus a hint at its (future) home, ahead of the admission queue.
+func (n *Node) fenceObject(object uint64, hint string) {
+	n.fenceMu.Lock()
+	n.fences[object] = hint
+	n.fenceCount.Store(int32(len(n.fences)))
+	n.fenceMu.Unlock()
+}
+
+// unfenceObject lifts a fence (move abort, or self-clear once the
+// directory view caught up with a committed cutover).
+func (n *Node) unfenceObject(object uint64) {
+	n.fenceMu.Lock()
+	delete(n.fences, object)
+	n.fenceCount.Store(int32(len(n.fences)))
+	n.fenceMu.Unlock()
+}
+
+// fencedHint reports whether the object is fenced; one atomic load when
+// no fence is up.
+func (n *Node) fencedHint(object uint64) (string, bool) {
+	if n.fenceCount.Load() == 0 {
+		return "", false
+	}
+	n.fenceMu.Lock()
+	hint, ok := n.fences[object]
+	n.fenceMu.Unlock()
+	return hint, ok
+}
+
+// cutOverObject is the move's commit point: record the object's new
+// home in the directory. Static mode mutates the (possibly shared)
+// directory in place; coordinator mode proposes through the replicated
+// log with the epoch fence, retrying with a refreshed view when a
+// concurrent configuration change fences the proposal out — the
+// quiesced state at both ends stays valid across retries. Moves back
+// to the object's default hash placement clear the override instead of
+// recording one, which is what keeps the override table from growing
+// with every migration (compaction folds the rest).
+func (n *Node) cutOverObject(object, targetGroup uint64) error {
+	if n.coord == nil {
+		d := n.dir.Load()
+		home, err := d.DefaultGroupID(object)
+		if err != nil {
+			return err
+		}
+		if home == targetGroup {
+			d.ClearOverride(object)
+		} else {
+			d.SetOverride(object, targetGroup)
+		}
+		n.refreshBackups()
+		return nil
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d, err := n.coord.GetConfig()
+		if err == nil {
+			// Re-validate against the fresh view: the move is only safe
+			// while this node is still the object's primary and the
+			// target group still exists.
+			g, ok := groupIn(d, n.opts.GroupID)
+			if !ok || g.Primary != n.addr {
+				return fmt.Errorf("cluster: cutover of %d abandoned: no longer primary of group %d", object, n.opts.GroupID)
+			}
+			if _, ok := groupIn(d, targetGroup); !ok {
+				return fmt.Errorf("cluster: cutover of %d abandoned: target group %d is gone", object, targetGroup)
+			}
+			home, herr := d.DefaultGroupID(object)
+			if herr != nil {
+				return herr
+			}
+			if home == targetGroup {
+				err = n.coord.ClearOverride(object, d.Epoch())
+			} else {
+				err = n.coord.SetOverrideFenced(object, targetGroup, d.Epoch())
+			}
+			if err == nil {
+				// Confirm by readback: an epoch-fenced proposal that lost
+				// the race is a silent no-op, so only the directory's own
+				// answer proves the cutover landed.
+				if nd, gerr := n.coord.GetConfig(); gerr == nil {
+					if g, lerr := nd.Lookup(object); lerr == nil && g.ID == targetGroup {
+						n.SetDirectory(nd)
+						return nil
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: cutover of %d to group %d did not take effect", object, targetGroup)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func groupIn(d *shard.Directory, id uint64) (shard.Group, bool) {
+	for _, g := range d.Groups() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return shard.Group{}, false
 }
 
 // routeCheck decides whether this node may execute the invocation:
@@ -513,6 +711,16 @@ func (n *Node) Close() error {
 // requests (paper §4.2.1: "read-only functions can execute at any replica").
 func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
 	d := n.dir.Load()
+	if hint, fenced := n.fencedHint(uint64(obj)); fenced {
+		// Quiesced for (or moved by) a live migration. Once this node's
+		// view maps the object to another group the cutover has
+		// committed and propagated — the fence has done its job.
+		if g, err := d.Lookup(uint64(obj)); err == nil && g.ID != n.opts.GroupID {
+			n.unfenceObject(uint64(obj))
+			return notResponsibleError(g.Primary)
+		}
+		return notResponsibleError(hint)
+	}
 	g, err := d.Lookup(uint64(obj))
 	if err != nil {
 		if len(n.opts.Coordinators) > 0 {
@@ -551,6 +759,7 @@ func (n *Node) registerHandlers() {
 
 	recovery.RegisterDonor(n.srv, n.donor)
 	n.recmgr.RegisterForward(n.srv)
+	recovery.RegisterMover(n.srv, n.moveTgt)
 
 	n.srv.Handle(MethodPing, func(body []byte) ([]byte, error) {
 		return []byte(n.addr), nil
@@ -564,7 +773,23 @@ func (n *Node) registerHandlers() {
 		if err := n.routeCheck(req.object, req.readOnly); err != nil {
 			return nil, err
 		}
-		return n.rt.InvokeCtx(req.object, req.method, req.args, core.CallCtx{Trace: info.Trace})
+		if n.invSem != nil {
+			n.invSem <- struct{}{}
+			defer func() { <-n.invSem }()
+		}
+		resp, err := n.rt.InvokeCtx(req.object, req.method, req.args, core.CallCtx{Trace: info.Trace})
+		if err != nil && errors.Is(err, core.ErrNoSuchObject) {
+			// The object may have been migrated away while this request
+			// sat in the admission queue (a move deletes the local copy
+			// under the same lock). If the directory now maps it
+			// elsewhere, convert to a routing redirect so the client
+			// retries at the new home instead of surfacing a spurious
+			// no-such-object.
+			if g, lerr := n.dir.Load().Lookup(uint64(req.object)); lerr == nil && g.ID != n.opts.GroupID {
+				return nil, notResponsibleError(g.Primary)
+			}
+		}
+		return resp, err
 	})
 
 	n.srv.HandleCtx(MethodInvokeTx, func(info rpc.CallInfo, body []byte) ([]byte, error) {
@@ -629,7 +854,7 @@ func (n *Node) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
-		if err := n.migrateObject(req); err != nil {
+		if err := n.moveSrc.Move(uint64(req.object), req.destPrimary, req.destGroup); err != nil {
 			return nil, err
 		}
 		n.migrations.Inc()
@@ -662,6 +887,14 @@ func (n *Node) registerHandlers() {
 		return encodeHotResp(n.rt.HotObjects(int(limit))), nil
 	})
 
+	n.srv.Handle(MethodHotWindow, func(body []byte) ([]byte, error) {
+		limit, _, err := wire.Uvarint(body)
+		if err != nil {
+			return nil, err
+		}
+		return encodeHotResp(n.rt.HotWindow(int(limit))), nil
+	})
+
 	n.srv.Handle(MethodStats, func(body []byte) ([]byte, error) {
 		inv, com := n.rt.Stats()
 		warm, cold := n.rt.PoolStats()
@@ -674,75 +907,6 @@ func (n *Node) registerHandlers() {
 		}
 		return []byte(line), nil
 	})
-}
-
-// migrateObject moves one microshard to another group: quiesce, copy,
-// redirect, delete (paper §4.2: objects "can be migrated by themselves
-// without causing disruption to computation involving other objects").
-func (n *Node) migrateObject(req *migrateReq) error {
-	release, err := n.rt.LockObject(req.object)
-	if err != nil {
-		return err
-	}
-	defer release()
-
-	// Copy the object's key range from a consistent snapshot.
-	var ing ingestReq
-	ing.object = req.object
-	snap := n.db.GetSnapshot()
-	it, err := snap.NewIterator()
-	if err != nil {
-		snap.Release()
-		return err
-	}
-	prefix := core.ObjectPrefix(req.object)
-	end := core.ObjectRangeEnd(req.object)
-	for it.Seek(prefix); it.Valid(); it.Next() {
-		k := it.Key()
-		if end != nil && string(k) >= string(end) {
-			break
-		}
-		ing.keys = append(ing.keys, append([]byte(nil), k...))
-		ing.values = append(ing.values, append([]byte(nil), it.Value()...))
-	}
-	iterErr := it.Error()
-	it.Close()
-	snap.Release()
-	if iterErr != nil {
-		return iterErr
-	}
-	if len(ing.keys) == 0 {
-		return fmt.Errorf("cluster: migrate: %s has no state here", req.object)
-	}
-
-	// Install at the destination primary, which fans the state out to its
-	// own backups.
-	if _, err := n.pool.Call(req.destPrimary, MethodIngest, encodeIngestReq(&ing)); err != nil {
-		return fmt.Errorf("cluster: migrate ingest: %w", err)
-	}
-
-	// Record the new placement.
-	if n.coord != nil {
-		if err := n.coord.SetOverride(uint64(req.object), req.destGroup); err != nil {
-			return err
-		}
-	} else {
-		d := n.dir.Load()
-		d.SetOverride(uint64(req.object), req.destGroup)
-	}
-
-	// Drop the local copy through the runtime so cached type bindings and
-	// result-cache entries are invalidated; queued invocations then fail
-	// their existence re-check instead of resurrecting the object here.
-	del := store.NewBatch()
-	for _, k := range ing.keys {
-		del.Delete(k)
-	}
-	if err := n.rt.ApplyReplicated(req.object, del); err != nil {
-		return err
-	}
-	n.shipper.Ship(uint64(req.object), del) //nolint:errcheck // best effort
-	return nil
 }
 
 // routerInvoker routes a nested cross-object invocation: objects homed on

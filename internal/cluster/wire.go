@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"lambdastore/internal/core"
+	"lambdastore/internal/rpc"
 	"lambdastore/internal/wire"
 )
 
@@ -27,6 +28,7 @@ const (
 	MethodMigrate      = "node.migrate"
 	MethodIngest       = "node.ingest"
 	MethodHotObjects   = "node.hot"
+	MethodHotWindow    = "node.hotwindow"
 )
 
 // notResponsiblePrefix marks routing errors; the payload after the prefix
@@ -284,4 +286,27 @@ func decodeHotResp(body []byte) ([]core.HotObject, error) {
 		out = append(out, core.HotObject{ID: core.ObjectID(id), Count: count})
 	}
 	return out, nil
+}
+
+// MoveObject asks the source primary to live-migrate one object to the
+// destination group (the rebalancer's actuator — wire codecs are
+// unexported, so external drivers go through this helper).
+func MoveObject(pool *rpc.Pool, sourcePrimary string, object uint64, destPrimary string, destGroup uint64) error {
+	_, err := pool.Call(sourcePrimary, MethodMigrate, encodeMigrateReq(&migrateReq{
+		object:      core.ObjectID(object),
+		destPrimary: destPrimary,
+		destGroup:   destGroup,
+	}))
+	return err
+}
+
+// HotWindow samples and resets one node's hot-object counters — the
+// rebalancer's per-window load signal. The sample-and-reset contract
+// assumes a single sampler per node.
+func HotWindow(pool *rpc.Pool, addr string, limit int) ([]core.HotObject, error) {
+	body, err := pool.Call(addr, MethodHotWindow, wire.AppendUvarint(nil, uint64(limit)))
+	if err != nil {
+		return nil, err
+	}
+	return decodeHotResp(body)
 }

@@ -36,6 +36,11 @@ const (
 	// moved since the donor certified the joiner, the admission no-ops and
 	// the joiner must re-sync against the new configuration.
 	cmdAddBackup
+	// cmdCompactOverrides folds redundant placement overrides (those
+	// matching the default hash placement, or pointing at removed groups)
+	// into the base placement on every replica — the decay that keeps the
+	// override table bounded by the number of currently displaced objects.
+	cmdCompactOverrides
 )
 
 // Command is one replicated configuration change.
@@ -55,9 +60,14 @@ type Command struct {
 	Object      uint64
 	TargetGroup uint64
 
-	// Epoch is cmdAddBackup's fence: the directory epoch the admission
-	// was certified against (0 = unguarded). Encoded last so older
-	// frames (which never carried it) would simply read absent.
+	// Epoch fences epoch-certified commands (0 = unguarded), encoded
+	// last so older frames (which never carried it) would simply read
+	// absent. cmdAddBackup: the epoch the joiner's catch-up was
+	// certified against. cmdSetOverride/cmdClearOverride: the epoch a
+	// live migration's transfer ran under — any reconfiguration since
+	// (failover in either group) invalidates the transfer, the cutover
+	// no-ops, and the migration aborts instead of installing a stale
+	// placement.
 	Epoch uint64
 }
 
@@ -151,6 +161,8 @@ type Service struct {
 	promotes   map[uint64]uint64 // group -> effective (guard-matched) promotions
 	evicts     map[uint64]uint64 // group -> effective backup evictions
 	rejoins    map[uint64]uint64 // group -> effective backup re-admissions
+	migrations uint64            // effective override installs/clears (cutovers)
+	compacted  uint64            // overrides folded into base placement
 
 	stop chan struct{}
 	done chan struct{}
@@ -241,9 +253,22 @@ func (s *Service) apply(slot uint64, value []byte) {
 			s.rejoins[c.GroupID]++
 		}
 	case cmdSetOverride:
+		// Same fence as cmdAddBackup: a live migration certifies its
+		// transfer against the epoch it ran under; a reconfiguration in
+		// between voids the cutover.
+		if c.Epoch != 0 && s.dir.Epoch() != c.Epoch {
+			return
+		}
 		s.dir.SetOverride(c.Object, c.TargetGroup)
+		s.migrations++
 	case cmdClearOverride:
+		if c.Epoch != 0 && s.dir.Epoch() != c.Epoch {
+			return
+		}
 		s.dir.ClearOverride(c.Object)
+		s.migrations++
+	case cmdCompactOverrides:
+		s.compacted += uint64(s.dir.CompactOverrides())
 	}
 }
 
@@ -412,6 +437,17 @@ func (s *Service) EvictCounts() map[uint64]uint64 {
 	return out
 }
 
+// MigrationCounts returns (effective cutovers applied, overrides folded
+// by compaction) on this replica, plus the live override-table size —
+// the observability triple behind the rebalancer's /metrics gauges: a
+// healthy cluster shows cutovers rising while the override count decays
+// back toward zero as objects migrate home or compaction folds them.
+func (s *Service) MigrationCounts() (cutovers, compacted uint64, overrides int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.migrations, s.compacted, s.dir.OverrideCount()
+}
+
 // RejoinCounts returns effective backup re-admissions applied per group.
 func (s *Service) RejoinCounts() map[uint64]uint64 {
 	s.mu.Lock()
@@ -489,7 +525,7 @@ func RegisterServer(srv *rpc.Server, s *Service) {
 		if err != nil {
 			return nil, err
 		}
-		if c.Kind != cmdClearOverride {
+		if c.Kind != cmdClearOverride && c.Kind != cmdCompactOverrides {
 			c.Kind = cmdSetOverride
 		}
 		return nil, s.ProposeCommand(c)
@@ -581,6 +617,33 @@ func (c *Client) AddBackup(gid uint64, joiner string, expectEpoch uint64) error 
 // SetOverride records a migrated object's new group.
 func (c *Client) SetOverride(object, group uint64) error {
 	cmd := Command{Kind: cmdSetOverride, Object: object, TargetGroup: group}
+	_, err := c.call(MethodMigrate, cmd.Encode())
+	return err
+}
+
+// SetOverrideFenced proposes a migration cutover certified against
+// expectEpoch: if the directory reconfigured since the transfer ran, the
+// command no-ops and the caller (which confirms by reading the
+// configuration back) aborts the migration.
+func (c *Client) SetOverrideFenced(object, group, expectEpoch uint64) error {
+	cmd := Command{Kind: cmdSetOverride, Object: object, TargetGroup: group, Epoch: expectEpoch}
+	_, err := c.call(MethodMigrate, cmd.Encode())
+	return err
+}
+
+// ClearOverride proposes removing an object's override — the cutover of
+// a migration back to the object's default placement, fenced the same
+// way (0 = unfenced).
+func (c *Client) ClearOverride(object, expectEpoch uint64) error {
+	cmd := Command{Kind: cmdClearOverride, Object: object, Epoch: expectEpoch}
+	_, err := c.call(MethodMigrate, cmd.Encode())
+	return err
+}
+
+// CompactOverrides proposes folding redundant overrides into the base
+// placement on every replica.
+func (c *Client) CompactOverrides() error {
+	cmd := Command{Kind: cmdCompactOverrides}
 	_, err := c.call(MethodMigrate, cmd.Encode())
 	return err
 }

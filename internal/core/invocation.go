@@ -138,7 +138,7 @@ func (iv *invocation) tScan(prefix []byte, fn func(key, value []byte) bool) erro
 func (iv *invocation) run() ([]byte, error) {
 	iv.rt.statsMu.Lock()
 	iv.rt.invocations++
-	iv.rt.perObject[iv.obj]++
+	iv.rt.hot.touch(iv.obj)
 	iv.rt.statsMu.Unlock()
 	defer iv.unlock()
 

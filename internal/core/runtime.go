@@ -76,6 +76,10 @@ type Options struct {
 	// commit, wal-sync) for traced invocations. A nil or disabled tracer
 	// costs one predicted branch per stage.
 	Tracer *telemetry.Tracer
+	// HotTrackerEntries bounds the per-object load tracker the
+	// rebalancer samples (0 = default 1024). Memory stays fixed no
+	// matter how many distinct objects the node serves.
+	HotTrackerEntries int
 }
 
 // DefaultFuel is the per-invocation budget used by servers: generous for
@@ -100,9 +104,10 @@ type Runtime struct {
 	invocations uint64
 	commits     uint64
 	statsMu     sync.Mutex
-	// perObject counts invocations per object — the load signal behind
-	// hot-microshard rebalancing (the paper's elasticity future work).
-	perObject map[ObjectID]uint64
+	// hot tracks per-object invocation counts in bounded memory — the
+	// load signal behind hot-microshard rebalancing (the paper's
+	// elasticity future work, now the rebalancer's sampling source).
+	hot *hotTracker
 
 	// metrics holds pre-resolved instruments (nil when Options.Metrics is
 	// unset) so hot paths never touch the registry mutex.
@@ -152,10 +157,10 @@ func (m *rtMetrics) methodCounter(method string) *telemetry.Counter {
 // NewRuntime builds a runtime on db, loading persisted types.
 func NewRuntime(db *store.DB, opts Options) (*Runtime, error) {
 	rt := &Runtime{
-		db:        db,
-		opts:      opts,
-		types:     make(map[string]*ObjectType),
-		perObject: make(map[ObjectID]uint64),
+		db:    db,
+		opts:  opts,
+		types: make(map[string]*ObjectType),
+		hot:   newHotTracker(opts.HotTrackerEntries),
 	}
 	if opts.Fuel == 0 {
 		rt.opts.Fuel = DefaultFuel
@@ -631,31 +636,45 @@ type HotObject struct {
 
 // HotObjects returns the n most-invoked objects since the last reset —
 // the signal elasticity decisions are made from: because objects are
-// microshards, the hottest ones can be migrated individually.
+// microshards, the hottest ones can be migrated individually. Counts
+// come from a bounded Space-Saving tracker, so they are exact for the
+// heavy hitters and slight over-estimates for objects that churned
+// through the tracker's tail.
 func (rt *Runtime) HotObjects(n int) []HotObject {
 	rt.statsMu.Lock()
-	out := make([]HotObject, 0, len(rt.perObject))
-	for id, c := range rt.perObject {
-		out = append(out, HotObject{ID: id, Count: c})
-	}
+	out := rt.hot.top(n)
 	rt.statsMu.Unlock()
+	return out
+}
+
+// HotWindow returns the top-n ranking and atomically starts a new
+// observation window — the rebalancer's sample-and-reset primitive, so
+// counts between samples are per-window rates rather than lifetime
+// totals. Single-sampler contract: concurrent samplers would steal each
+// other's windows.
+func (rt *Runtime) HotWindow(n int) []HotObject {
+	rt.statsMu.Lock()
+	out := rt.hot.top(n)
+	rt.hot.reset()
+	rt.statsMu.Unlock()
+	return out
+}
+
+// sortHot orders a ranking hottest first with a deterministic tie-break.
+func sortHot(out []HotObject) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
 		return out[i].ID < out[j].ID
 	})
-	if n > 0 && len(out) > n {
-		out = out[:n]
-	}
-	return out
 }
 
 // ResetHotStats clears the per-object load counters (start of a new
 // observation window).
 func (rt *Runtime) ResetHotStats() {
 	rt.statsMu.Lock()
-	rt.perObject = make(map[ObjectID]uint64)
+	rt.hot.reset()
 	rt.statsMu.Unlock()
 }
 

@@ -51,6 +51,10 @@ type Options struct {
 	// Cluster, if set, backs /cluster/metrics: the coordinator's merged
 	// per-group and cluster-wide metric rollups, as JSON.
 	Cluster func() any
+	// Rebalance, if set, backs /rebalance: the load-aware rebalancer's
+	// status (last observation window, recent decisions, move counters),
+	// as JSON.
+	Rebalance func() any
 	// Window is the sliding-window length for /metrics.json windowed
 	// values; zero selects telemetry.DefaultWindow.
 	Window time.Duration
@@ -101,6 +105,12 @@ func Start(addr string, o Options) (*Server, error) {
 		mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(o.Cluster())
+		})
+	}
+	if o.Rebalance != nil {
+		mux.HandleFunc("/rebalance", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(o.Rebalance())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -182,6 +182,12 @@ func (m *Manager) RegisterForward(srv *rpc.Server) {
 		}
 		m.modeMu.Lock()
 		if m.buffering {
+			// The decoded batch aliases the RPC frame, whose backing
+			// buffer the server recycles once this handler returns; a
+			// buffered message outlives that, so it needs its own copy.
+			// (The live branch below applies before returning, so the
+			// alias is safe there.)
+			msg.batch = append([]byte(nil), msg.batch...)
 			m.buffer = append(m.buffer, msg)
 			m.modeMu.Unlock()
 			return nil, nil

@@ -119,6 +119,27 @@ func (d *Directory) SetGroup(g Group) {
 	d.epoch++
 }
 
+// DefaultGroupID returns the group an object maps to under the hash
+// placement alone, ignoring overrides — the object's "home". Migrations
+// back home clear the override instead of recording one, which is what
+// keeps the override table from growing without bound.
+func (d *Directory) DefaultGroupID(id uint64) (uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.groups) == 0 {
+		return 0, ErrNoGroups
+	}
+	return d.groups[id%uint64(len(d.groups))].ID, nil
+}
+
+// Override reports the recorded override target for an object, if any.
+func (d *Directory) Override(id uint64) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	gid, ok := d.overrides[id]
+	return gid, ok
+}
+
 // SetOverride records a migrated object's new home.
 func (d *Directory) SetOverride(object, groupID uint64) {
 	d.mu.Lock()
@@ -141,6 +162,63 @@ func (d *Directory) OverrideCount() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.overrides)
+}
+
+// redundantLocked reports whether an override adds no information: it
+// points at the object's default hash placement (the object migrated
+// back home, or the group set changed so the hash now agrees), or at a
+// group that no longer exists (Lookup already falls through to the
+// default for those).
+func (d *Directory) redundantLocked(object, gid uint64) bool {
+	if len(d.groups) == 0 {
+		return false
+	}
+	if d.groups[object%uint64(len(d.groups))].ID == gid {
+		return true
+	}
+	for i := range d.groups {
+		if d.groups[i].ID == gid {
+			return false
+		}
+	}
+	return true // stale target: group removed
+}
+
+// RedundantOverrides counts overrides that compaction would fold into
+// the base placement, without mutating anything.
+func (d *Directory) RedundantOverrides() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for obj, gid := range d.overrides {
+		if d.redundantLocked(obj, gid) {
+			n++
+		}
+	}
+	return n
+}
+
+// CompactOverrides folds redundant overrides into the base placement:
+// every override whose removal does not change any Lookup result is
+// deleted. The epoch bumps once if anything was removed (views must
+// refresh so their override tables shrink too). Returns the number of
+// overrides folded. Applied as a replicated coordinator command, the
+// walk is deterministic — map order does not matter because removals
+// are independent.
+func (d *Directory) CompactOverrides() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for obj, gid := range d.overrides {
+		if d.redundantLocked(obj, gid) {
+			delete(d.overrides, obj)
+			n++
+		}
+	}
+	if n > 0 {
+		d.epoch++
+	}
+	return n
 }
 
 // Promote makes the named backup the primary of group gid (failover),

@@ -47,6 +47,19 @@ type Config struct {
 	// FirstID is the object ID of the first account (accounts occupy
 	// [FirstID, FirstID+Accounts)).
 	FirstID uint64
+	// HotspotS, when > 1, Zipf-skews which account each operation
+	// targets (rank 0 hottest): the hot-spot workloads the rebalancer
+	// is judged against. Zero keeps the original uniform pick. This is
+	// separate from ZipfS, which skews the follower-graph shape.
+	HotspotS float64
+	// HotspotStride spreads Zipf ranks across account indexes as
+	// (rank*stride) mod Accounts. With stride 1 the hottest accounts
+	// are consecutive indexes — under id-mod-groups placement they land
+	// on different groups. A stride that is a multiple of the group
+	// count instead piles the hottest accounts onto one group, modeling
+	// the correlated-collision worst case rebalancing exists to fix.
+	// Zero means 1.
+	HotspotStride uint64
 }
 
 // DefaultConfig mirrors the paper's setup scaled by accounts.
@@ -171,10 +184,30 @@ const (
 // Workloads lists the evaluation workloads in paper order.
 var Workloads = []string{Post, GetTimeline, Follow}
 
+// keyPicker returns the per-op account selector: uniform by default,
+// Zipf-skewed ranks mapped through the hotspot stride when HotspotS is
+// set.
+func keyPicker(cfg Config, rng *rand.Rand) func() uint64 {
+	if cfg.HotspotS <= 1 || cfg.Accounts <= 1 {
+		return func() uint64 { return cfg.AccountID(rng.Intn(cfg.Accounts)) }
+	}
+	zipf := rand.NewZipf(rng, cfg.HotspotS, 1, uint64(cfg.Accounts-1))
+	stride := cfg.HotspotStride
+	if stride == 0 {
+		stride = 1
+	}
+	n := uint64(cfg.Accounts)
+	return func() uint64 {
+		rank := zipf.Uint64()
+		return cfg.AccountID(int((rank * stride) % n))
+	}
+}
+
 // OpStream produces the per-worker operation closure for one workload.
 // Each worker gets an independent deterministic RNG.
 func OpStream(cfg Config, workload string, inv Invoker, worker int) (func() error, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+	pick := keyPicker(cfg, rng)
 	msg := make([]byte, cfg.MsgLen)
 	for i := range msg {
 		msg[i] = byte('a' + i%26)
@@ -182,19 +215,17 @@ func OpStream(cfg Config, workload string, inv Invoker, worker int) (func() erro
 	switch workload {
 	case Post:
 		return func() error {
-			id := cfg.AccountID(rng.Intn(cfg.Accounts))
-			_, err := inv.Invoke(id, "create_post", [][]byte{msg})
+			_, err := inv.Invoke(pick(), "create_post", [][]byte{msg})
 			return err
 		}, nil
 	case GetTimeline:
 		return func() error {
-			id := cfg.AccountID(rng.Intn(cfg.Accounts))
-			_, err := inv.Invoke(id, "get_timeline", [][]byte{core.I64Bytes(10)})
+			_, err := inv.Invoke(pick(), "get_timeline", [][]byte{core.I64Bytes(10)})
 			return err
 		}, nil
 	case Follow:
 		return func() error {
-			id := cfg.AccountID(rng.Intn(cfg.Accounts))
+			id := pick()
 			follower := cfg.AccountID(rng.Intn(cfg.Accounts))
 			_, err := inv.Invoke(id, "add_follower", [][]byte{core.I64Bytes(int64(follower))})
 			return err

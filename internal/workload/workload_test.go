@@ -166,3 +166,63 @@ func TestResultString(t *testing.T) {
 		t.Fatal("empty render")
 	}
 }
+
+func TestHotspotZipfSkew(t *testing.T) {
+	be := newFakeBackend()
+	cfg := DefaultConfig(64)
+	cfg.HotspotS = 1.2
+	op, err := OpStream(cfg, Post, be, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 5000
+	for i := 0; i < ops; i++ {
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	// Rank 0 (account index 0) must dominate: with s=1.2 over 64
+	// accounts it should carry well over a tenth of all traffic, which
+	// a uniform pick (1/64) never approaches.
+	hottest := be.byObj[cfg.AccountID(0)]
+	if hottest < ops/10 {
+		t.Fatalf("hotspot account got %d/%d ops; zipf skew not applied", hottest, ops)
+	}
+}
+
+func TestHotspotStrideConcentratesGroups(t *testing.T) {
+	be := newFakeBackend()
+	const groups = 4
+	cfg := DefaultConfig(64)
+	cfg.FirstID = 0 // align account index with object id for the mod check
+	cfg.HotspotS = 1.2
+	cfg.HotspotStride = groups
+	op, err := OpStream(cfg, Post, be, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 5000
+	for i := 0; i < ops; i++ {
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	perGroup := make([]int, groups)
+	for id, n := range be.byObj {
+		perGroup[id%groups] += n
+	}
+	// Every rank maps to a multiple of the stride, so under id-mod-4
+	// placement all traffic must land on group 0.
+	for g := 1; g < groups; g++ {
+		if perGroup[g] != 0 {
+			t.Fatalf("stride leak: group %d got %d ops (%v)", g, perGroup[g], perGroup)
+		}
+	}
+	if perGroup[0] != ops {
+		t.Fatalf("group 0 got %d/%d ops", perGroup[0], ops)
+	}
+}
