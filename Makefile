@@ -10,12 +10,13 @@
 #   make bench-obs    telemetry overhead: off / metrics / metrics+tracing (JSON artifact)
 #   make bench-recovery  rejoin cost, digest diff vs full resync (JSON artifact)
 #   make bench-rebalance many-group placement + Zipf hot-spot convergence (JSON artifact)
+#   make bench-read-scaleout  leased replica reads vs primary-only routing (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance bench-read-scaleout vet check clean
 
 all: build
 
@@ -29,7 +30,7 @@ test:
 # cluster node, the caches on the read path, the store, and the telemetry
 # instruments themselves.
 race:
-	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/
+	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/ ./internal/replication/
 
 # Deterministic failover chaos: every seed replays the same kill/partition/
 # fsync-failure schedule (see EXPERIMENTS.md "Chaos runs"). The smoke
@@ -72,6 +73,15 @@ bench-recovery:
 # count that plateaus instead of oscillating.
 bench-rebalance:
 	$(GO) run ./cmd/lambda-bench -rebalance -accounts 512 -concurrency 64 -ops 3000 -out results/BENCH_rebalance.json
+
+# Read scale-out: GetTimeline at 1/8/64 clients on a 3-replica group,
+# reads pinned to the primary vs spread over lease-holding backups
+# (per-node admission modeled with an injected per-request receive
+# delay), plus a mixed 90/10 run comparing write-ack latency. The
+# acceptance bar is >=2.5x read throughput at 64 clients and a write-ack
+# p99 within 10% of the lease-free baseline.
+bench-read-scaleout:
+	$(GO) run ./cmd/lambda-bench -read-scaleout -ops 4000 -out results/BENCH_read_scaleout.json
 
 vet:
 	@fmt_out=$$(gofmt -l .); \

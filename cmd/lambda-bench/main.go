@@ -12,6 +12,7 @@
 //	lambda-bench -obs                     telemetry overhead: off / metrics / metrics+tracing
 //	lambda-bench -recovery                rejoin cost: digest diff vs full resync
 //	lambda-bench -rebalance               many-group placement + Zipf hot-spot convergence
+//	lambda-bench -read-scaleout           leased replica reads vs primary-only routing
 //	lambda-bench -all                     everything
 package main
 
@@ -40,6 +41,7 @@ func main() {
 		obs         = flag.Bool("obs", false, "run the observability-overhead sweep (telemetry off / metrics / metrics+tracing)")
 		recov       = flag.Bool("recovery", false, "run the rejoin benchmark (range-digest diff vs full resync)")
 		rebal       = flag.Bool("rebalance", false, "run the rebalance benchmark (throughput vs groups, Zipf hot-spot convergence)")
+		readScale   = flag.Bool("read-scaleout", false, "run the read scale-out benchmark (leased replica reads vs primary-only)")
 		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -153,6 +155,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunRebalance(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: rebalance: %v", err)
+		}
+		fmt.Println()
+	}
+	if *readScale {
+		ran = true
+		if _, err := bench.RunReadScaleout(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: read-scaleout: %v", err)
 		}
 		fmt.Println()
 	}

@@ -53,6 +53,11 @@ type Options struct {
 	DisableMetrics bool // withhold the registry from every hot-path component
 	Tracing        bool // record spans for every invocation
 
+	// DisableLeases withholds read leases from backups, so every
+	// consistent read must be served by the primary — the read-scaleout
+	// benchmark's baseline.
+	DisableLeases bool
+
 	Verbose bool
 }
 
@@ -105,6 +110,10 @@ type Deployment struct {
 	// disaggregated baseline); the write-path benchmark reads commit/fsync
 	// counters from their registries.
 	Nodes []*cluster.Node
+	// Dir is the aggregated deployment's shared directory (nil for the
+	// disaggregated baseline) — extra clients with their own read policies
+	// can be built against it.
+	Dir *shard.Directory
 
 	closers []func()
 	cleanup []string
@@ -168,6 +177,7 @@ func StartAggregated(opts Options) (*Deployment, error) {
 			DisableRPCCoalescing:  opts.DisableBatching,
 			DisableMetrics:        opts.DisableMetrics,
 			Tracing:               opts.Tracing,
+			DisableLeases:         opts.DisableLeases,
 		})
 		if err != nil {
 			d.Close()
@@ -177,6 +187,7 @@ func StartAggregated(opts Options) (*Deployment, error) {
 		nodes = append(nodes, node)
 	}
 	d.Nodes = nodes
+	d.Dir = dir
 	g := shard.Group{ID: 0, Primary: nodes[0].Addr()}
 	for _, b := range nodes[1:] {
 		g.Backups = append(g.Backups, b.Addr())

@@ -276,6 +276,11 @@ func (c *Cluster) nodeOptions(addr, dataDir string, group uint64) cluster.NodeOp
 		RecoveryFullResync:     c.opts.RejoinFullResync,
 		RecoveryMaxBytesPerSec: c.opts.RejoinMaxBytesPerSec,
 		MoveSessionTimeout:     c.opts.MoveSessionTimeout,
+		// Leases shorter than the failure-detector timeout: a deposed
+		// primary's barrier (one lease TTL) always ends before the
+		// coordinator can have promoted a successor, so a leased backup
+		// can never serve state older than an acked write.
+		LeaseTTL: 150 * time.Millisecond,
 	}
 }
 

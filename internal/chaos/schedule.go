@@ -179,6 +179,9 @@ type runner struct {
 	objects []core.ObjectID
 	report  *Report
 	nextID  uint64
+	// probeBase carves id ranges for lease probes, far above nextID so
+	// probe appends never collide with the main workload's ids.
+	probeBase uint64
 }
 
 // Run executes a seeded fault schedule against the cluster and checks
@@ -191,12 +194,13 @@ func Run(c *Cluster, opts RunOptions) (*Report, error) {
 	defer fault.Reset()
 
 	r := &runner{
-		c:      c,
-		client: c.Client(),
-		opts:   opts,
-		rng:    rng{s: opts.Seed ^ 0x5851f42d4c957f2d},
-		report: &Report{Acked: make(map[core.ObjectID][]uint64)},
-		nextID: 1,
+		c:         c,
+		client:    c.Client(),
+		opts:      opts,
+		rng:       rng{s: opts.Seed ^ 0x5851f42d4c957f2d},
+		report:    &Report{Acked: make(map[core.ObjectID][]uint64)},
+		nextID:    1,
+		probeBase: 1 << 40,
 	}
 	r.report.Scenarios = opts.Scenarios
 	if r.report.Scenarios == nil {
@@ -359,6 +363,76 @@ func (r *runner) runScenario(s Scenario) error {
 	return nil
 }
 
+// startLeaseProbe launches a concurrent reader that hammers one object
+// with read-your-acks checks while the schedule reconfigures the
+// cluster underneath it. Each iteration appends a unique id through the
+// primary, then issues a replica-routed read (round-robin over leased
+// backups); a successful read that is missing ANY id acknowledged
+// before it was issued is a stale read — exactly what leases must make
+// impossible across failover and migration-cutover epochs. Reads that
+// error are fine (bounced by an unleased backup, node down); only
+// success with stale data is a violation. The returned stop func joins
+// the probe and reports the first violation, if any.
+func (r *runner) startLeaseProbe(obj core.ObjectID) (stop func() error) {
+	// A dedicated client with a short retry budget keeps the probe
+	// sampling during unavailability windows instead of blocking inside
+	// one call's 10s retry loop.
+	pc, err := cluster.NewClient(cluster.ClientConfig{
+		Coordinators: r.c.CoordAddrs(),
+		MaxRetries:   2,
+		RetryBudget:  300 * time.Millisecond,
+	})
+	if err != nil {
+		return func() error { return fmt.Errorf("lease probe client: %w", err) }
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	var probeErr error
+	var reads, ackedN int
+	base := r.probeBase
+	r.probeBase += 1 << 20
+	go func() {
+		defer close(done)
+		defer pc.Close()
+		var acked []uint64
+		defer func() { ackedN = len(acked) }()
+		next := base
+		for {
+			select {
+			case <-stopCh:
+				return
+			default:
+			}
+			id := next
+			next++
+			if _, err := pc.Invoke(obj, "append", [][]byte{core.I64Bytes(int64(id))}); err == nil {
+				acked = append(acked, id)
+			}
+			raw, err := pc.InvokeRead(obj, "list", nil)
+			if err != nil {
+				continue // bounced or unavailable — not a staleness violation
+			}
+			reads++
+			if err := requireAll(acked, DecodeLog(raw), fmt.Sprintf("lease probe on object %d", obj)); err != nil {
+				probeErr = err
+				return
+			}
+		}
+	}()
+	return func() error {
+		close(stopCh)
+		<-done
+		r.opts.Log("chaos: lease probe on object %d: %d replica reads consistent with %d acked writes", obj, reads, ackedN)
+		if probeErr != nil {
+			return probeErr
+		}
+		if reads == 0 {
+			return fmt.Errorf("chaos: lease probe on object %d never completed a replica read — assertion proved nothing", obj)
+		}
+		return nil
+	}
+}
+
 // runRestartRejoin drives the anti-entropy rejoin scenario: kill a
 // backup, write through its downtime, restart it and wait for digest
 // catch-up to end in re-admission, then remove every other member so
@@ -415,6 +489,11 @@ func (r *runner) runRestartRejoin() error {
 	}
 	r.burst(r.opts.BurstOps)
 
+	// Lease revocation under failover: from here through the primary
+	// kill, promotion of the rejoined backup, and recovery, a concurrent
+	// reader must never observe a replica read missing an acked write.
+	probeStop := r.startLeaseProbe(r.objects[r.rng.intn(len(r.objects))])
+
 	// Strip the group down to the rejoined node: every other backup
 	// first (evictions, no promotion)...
 	killed := []int{}
@@ -461,6 +540,9 @@ func (r *runner) runRestartRejoin() error {
 	r.report.RecoveryAttempts = append(r.report.RecoveryAttempts, attempts)
 	if err != nil {
 		return fmt.Errorf("availability not restored after %d attempts: %w", attempts, err)
+	}
+	if err := probeStop(); err != nil {
+		return err
 	}
 	for _, i := range killed {
 		if err := r.c.WaitBackup(i, r.opts.RejoinTimeout); err != nil {
@@ -568,6 +650,13 @@ func (r *runner) runMigrateUnderChaos() error {
 	// The harness kill drains in-flight handlers (a graceful close), so
 	// the move races node teardown; whichever way it resolves, the
 	// directory must name exactly one owner.
+	//
+	// Lease revocation under cutover: while the move commits (or aborts
+	// into a failover), a concurrent reader of the migrating object must
+	// never see a replica read missing an acked write — source-group
+	// leases die on the override install, target-group leases only cover
+	// state shipped after the cutover.
+	probeStop := r.startLeaseProbe(obj)
 	fault.Add(fault.Rule{Site: fault.SiteRPCRecv, Key: g1.Primary, Action: fault.Delay, Delay: 25 * time.Millisecond, P: 1})
 	moveDone = make(chan error, 1)
 	go func() { moveDone <- r.client.Migrate(obj, 1) }()
@@ -592,6 +681,9 @@ func (r *runner) runMigrateUnderChaos() error {
 	r.report.RecoveryAttempts = append(r.report.RecoveryAttempts, attempts)
 	if err != nil {
 		return fmt.Errorf("availability not restored after %d attempts: %w", attempts, err)
+	}
+	if err := probeStop(); err != nil {
+		return err
 	}
 
 	// Exactly one owner. The losing side must shed its copy: on an abort

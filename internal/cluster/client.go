@@ -28,6 +28,15 @@ type Client struct {
 
 	rr atomic.Uint64 // round-robin cursor for replica reads
 
+	readPolicy ReadPolicy
+
+	// inflight counts this client's outstanding invocations per address;
+	// hints carries externally supplied load scores (e.g. coordinator
+	// rollups). Both feed ReadLeastLoaded replica selection.
+	inflMu   sync.Mutex
+	inflight map[string]int64
+	hints    map[string]float64
+
 	// maxRetries bounds routing retries after stale-config rejections.
 	maxRetries int
 
@@ -42,6 +51,24 @@ type Client struct {
 	// decide whether spans are actually recorded.
 	tracing bool
 }
+
+// ReadPolicy selects which replica serves a read-only invocation. With
+// leases enabled, every choice returns committed-then-acked state: backups
+// only answer while holding a valid lease and bounce otherwise, so policies
+// trade load spreading against bounce-retry latency, never consistency.
+type ReadPolicy int
+
+const (
+	// ReadRoundRobin spreads reads across all replicas in turn (default).
+	ReadRoundRobin ReadPolicy = iota
+	// ReadPrimaryOnly sends every read to the primary — the pre-lease
+	// behavior, and the baseline for read scale-out benchmarks.
+	ReadPrimaryOnly
+	// ReadLeastLoaded picks the replica with the lowest load score:
+	// this client's own in-flight invocations plus any external hint
+	// installed via SetLoadHints (ties broken round-robin).
+	ReadLeastLoaded
+)
 
 // ClientConfig configures a Client.
 type ClientConfig struct {
@@ -67,6 +94,9 @@ type ClientConfig struct {
 	// Tracing stamps every invocation with a fresh trace ID so nodes with
 	// tracing enabled record its spans.
 	Tracing bool
+	// ReadPolicy selects the replica for read-only invocations
+	// (default ReadRoundRobin).
+	ReadPolicy ReadPolicy
 }
 
 // NewClient builds a client.
@@ -79,6 +109,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		retryMax:    cfg.RetryMaxDelay,
 		retryBudget: cfg.RetryBudget,
 		tracing:     cfg.Tracing,
+		readPolicy:  cfg.ReadPolicy,
+		inflight:    make(map[string]int64),
 	}
 	if c.maxRetries <= 0 {
 		c.maxRetries = 4
@@ -196,6 +228,57 @@ func (c *Client) InvokeRead(id core.ObjectID, method string, args [][]byte) ([]b
 	return c.invoke(c.rootCtx(), id, method, args, true)
 }
 
+// SetLoadHints installs per-address load scores (typically fed from the
+// coordinator's cluster rollups) that bias ReadLeastLoaded selection on
+// top of the client's own in-flight counts. Passing nil clears the hints.
+func (c *Client) SetLoadHints(hints map[string]float64) {
+	c.inflMu.Lock()
+	c.hints = hints
+	c.inflMu.Unlock()
+}
+
+// readTarget picks the replica for a read-only invocation per the
+// configured policy.
+func (c *Client) readTarget(g shard.Group) string {
+	replicas := g.Replicas()
+	switch c.readPolicy {
+	case ReadPrimaryOnly:
+		return g.Primary
+	case ReadLeastLoaded:
+		// Rotate the scan start so equally loaded replicas alternate.
+		start := int(c.rr.Add(1) % uint64(len(replicas)))
+		c.inflMu.Lock()
+		defer c.inflMu.Unlock()
+		best, bestScore := "", 0.0
+		for i := 0; i < len(replicas); i++ {
+			a := replicas[(start+i)%len(replicas)]
+			score := float64(c.inflight[a]) + c.hints[a]
+			if best == "" || score < bestScore {
+				best, bestScore = a, score
+			}
+		}
+		return best
+	default:
+		return replicas[c.rr.Add(1)%uint64(len(replicas))]
+	}
+}
+
+// track records an in-flight invocation against addr for ReadLeastLoaded
+// scoring; the returned func must be called when the call completes.
+func (c *Client) track(addr string) func() {
+	if c.readPolicy != ReadLeastLoaded {
+		return func() {}
+	}
+	c.inflMu.Lock()
+	c.inflight[addr]++
+	c.inflMu.Unlock()
+	return func() {
+		c.inflMu.Lock()
+		c.inflight[addr]--
+		c.inflMu.Unlock()
+	}
+}
+
 func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method string, args [][]byte, readOnly bool) ([]byte, error) {
 	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args, readOnly: readOnly})
 	deadline := time.Now().Add(c.retryBudget)
@@ -210,10 +293,11 @@ func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method stri
 		}
 		addr := g.Primary
 		if readOnly {
-			replicas := g.Replicas()
-			addr = replicas[c.rr.Add(1)%uint64(len(replicas))]
+			addr = c.readTarget(g)
 		}
+		done := c.track(addr)
 		resp, err := c.pool.CallCtx(addr, ctx, MethodInvoke, body)
+		done()
 		if err == nil {
 			return resp, nil
 		}

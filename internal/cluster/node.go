@@ -92,7 +92,26 @@ type NodeOptions struct {
 	// inactivity before the target reclaims the partial copy (0 =
 	// default 10s; chaos tests shrink it).
 	MoveSessionTimeout time.Duration
+	// LeaseTTL is the read-lease duration this node grants its backups
+	// while primary (0 = DefaultLeaseTTL). Backups holding a valid
+	// lease serve read-only invocations locally; the primary stalls
+	// write acks for one TTL after any lease-breaking reconfiguration.
+	// Keep it at or below the coordinator's heartbeat timeout so a
+	// partitioned backup's lease expires before the failure detector
+	// can reconfigure around it.
+	LeaseTTL time.Duration
+	// LeaseApplyLagMax bounds how many shipped-but-unapplied write-set
+	// entries a leased backup tolerates before bouncing reads to the
+	// primary (0 = replication.DefaultLeaseApplyLagMax).
+	LeaseApplyLagMax int
+	// DisableLeases turns read leasing off entirely: backups bounce
+	// every read to the primary (the read scale-out bench baseline).
+	DisableLeases bool
 }
+
+// DefaultLeaseTTL is the read-lease duration when NodeOptions.LeaseTTL
+// is zero.
+const DefaultLeaseTTL = 500 * time.Millisecond
 
 // Node is one LambdaStore storage node: it persists objects, executes
 // their methods in the embedded isolation runtime, replicates committed
@@ -128,6 +147,19 @@ type Node struct {
 	// invSem, when non-nil, is the MaxConcurrentInvokes admission gate.
 	invSem chan struct{}
 
+	// Read-lease plane. leases is this node's backup-side holder (nil
+	// only when leasing is disabled); leaseTTL is the primary-side grant
+	// duration (0 = disabled). leaseBarrier holds a unixnano deadline
+	// before which no write ack may be released (a lease-breaking
+	// membership change happened; orphaned leases must expire first);
+	// objBarrier holds the same per object for migrations into this
+	// group.
+	leases       *replication.LeaseHolder
+	leaseTTL     time.Duration
+	leaseBarrier atomic.Int64
+	objBarrierMu sync.Mutex
+	objBarrier   map[uint64]int64
+
 	dir    atomic.Pointer[shard.Directory]
 	stopMu sync.Mutex
 	stop   chan struct{}
@@ -135,11 +167,13 @@ type Node struct {
 
 	forwarded atomic.Uint64 // cross-object invocations routed off-node
 
-	metrics    *telemetry.Registry
-	tracer     *telemetry.Tracer
-	debugSrv   *debug.Server
-	forwards   *telemetry.Counter
-	migrations *telemetry.Counter
+	metrics       *telemetry.Registry
+	tracer        *telemetry.Tracer
+	debugSrv      *debug.Server
+	forwards      *telemetry.Counter
+	migrations    *telemetry.Counter
+	backupServed  *telemetry.Counter
+	primaryBounce *telemetry.Counter
 }
 
 // StartNode opens the store and starts serving.
@@ -186,6 +220,19 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	}
 	n.forwards = reg.Counter("cluster.forwards")
 	n.migrations = reg.Counter("cluster.migrations")
+	n.backupServed = reg.Counter("reads.backup_served")
+	n.primaryBounce = reg.Counter("reads.primary_bounced")
+	if !opts.DisableLeases {
+		n.leaseTTL = opts.LeaseTTL
+		if n.leaseTTL <= 0 {
+			n.leaseTTL = DefaultLeaseTTL
+		}
+		n.leases = replication.NewLeaseHolder(
+			func() uint64 { return n.dir.Load().Epoch() },
+			opts.LeaseApplyLagMax, nil)
+		n.leases.SetTelemetry(reg)
+		n.objBarrier = make(map[uint64]int64)
+	}
 	n.srv.SetTelemetry(hotReg)
 	n.srv.SetWriteCoalescing(!opts.DisableRPCCoalescing)
 	n.pool.SetTelemetry(hotReg)
@@ -197,6 +244,9 @@ func StartNode(opts NodeOptions) (*Node, error) {
 	n.shipper = replication.NewShipper(n.pool, n.onBackupFailure)
 	n.shipper.SetTelemetry(hotReg)
 	n.shipper.SetCoalescing(!opts.DisableShipCoalescing)
+	if n.leaseTTL > 0 {
+		n.shipper.SetLeaseTTL(n.leaseTTL)
+	}
 
 	rtOpts := opts.Runtime
 	rtOpts.Invoker = &routerInvoker{node: n}
@@ -232,6 +282,11 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		// Relay to an in-flight outbound move's target, if any (best
 		// effort: a lost relay is a forward gap the move's seal heals).
 		n.moveSrc.ForwardCommit(ctx, uint64(obj), ws)
+		// Lease-breaking reconfigurations stall the ack until any lease
+		// this primary can no longer invalidate has surely expired: the
+		// write is durable and shipped by now, only its client
+		// visibility waits (bounded by one lease TTL).
+		n.waitLeaseBarrier(uint64(obj))
 		return nil
 	}
 	n.rt, err = core.NewRuntime(db, rtOpts)
@@ -425,8 +480,110 @@ func (n *Node) Directory() *shard.Directory { return n.dir.Load() }
 
 // SetDirectory installs a new configuration view.
 func (n *Node) SetDirectory(d *shard.Directory) {
+	old := n.dir.Load()
 	n.dir.Store(d)
+	n.onDirectoryChange(old, d)
 	n.refreshBackups()
+}
+
+// onDirectoryChange applies the read-lease consequences of a new
+// configuration view. Backup side: any held lease was granted under the
+// old epoch, so it dies here (Valid would also catch it; revoking
+// eagerly keeps the counters honest). Primary side: if the change could
+// orphan a lease this primary can no longer invalidate — a replica left
+// my group (eviction, failover, this node's own promotion), or an
+// object migrated into my group while the source group's backups may
+// still hold leases covering it — write acks stall until one full TTL
+// has passed, by which time every such lease has expired (backups honor
+// only 3/4 of the TTL, leaving margin for skew and delivery latency).
+func (n *Node) onDirectoryChange(old, nw *shard.Directory) {
+	if n.leaseTTL <= 0 || old == nil || nw == nil || old == nw || old.Epoch() == nw.Epoch() {
+		return
+	}
+	n.leases.Revoke()
+	g, ok := groupIn(nw, n.opts.GroupID)
+	if !ok || g.Primary != n.addr {
+		return
+	}
+	until := time.Now().Add(n.leaseTTL).UnixNano()
+	og, hadGroup := groupIn(old, n.opts.GroupID)
+	shrink := !hadGroup || og.Primary != n.addr
+	if !shrink {
+		now := g.Replicas()
+		for _, m := range og.Replicas() {
+			found := false
+			for _, r := range now {
+				if r == m {
+					found = true
+					break
+				}
+			}
+			if !found {
+				shrink = true
+				break
+			}
+		}
+	}
+	if shrink {
+		for {
+			cur := n.leaseBarrier.Load()
+			if until <= cur || n.leaseBarrier.CompareAndSwap(cur, until) {
+				break
+			}
+		}
+	}
+	// Objects newly mapped into my group (override installed, or an
+	// override back to a default placement here cleared): the previous
+	// home's backups may serve leased reads of them until their view
+	// catches up or their lease expires — stall acks per object.
+	oldOv, newOv := old.Overrides(), nw.Overrides()
+	seen := make(map[uint64]bool, len(oldOv)+len(newOv))
+	for obj := range newOv {
+		seen[obj] = true
+	}
+	for obj := range oldOv {
+		seen[obj] = true
+	}
+	for obj := range seen {
+		ng, nerr := nw.Lookup(obj)
+		if nerr != nil || ng.ID != n.opts.GroupID {
+			continue
+		}
+		ogr, oerr := old.Lookup(obj)
+		if oerr == nil && ogr.ID == n.opts.GroupID {
+			continue // was already ours
+		}
+		n.objBarrierMu.Lock()
+		if n.objBarrier[obj] < until {
+			n.objBarrier[obj] = until
+		}
+		n.objBarrierMu.Unlock()
+	}
+}
+
+// waitLeaseBarrier blocks until every write-ack barrier covering the
+// object has passed (no-op in the overwhelmingly common case).
+func (n *Node) waitLeaseBarrier(object uint64) {
+	if n.leaseTTL <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	until := n.leaseBarrier.Load()
+	n.objBarrierMu.Lock()
+	if len(n.objBarrier) > 0 {
+		if t, ok := n.objBarrier[object]; ok {
+			if t > until {
+				until = t
+			}
+			if t <= now {
+				delete(n.objBarrier, object)
+			}
+		}
+	}
+	n.objBarrierMu.Unlock()
+	if until > now {
+		time.Sleep(time.Duration(until - now))
+	}
 }
 
 // Forwarded returns how many cross-object invocations left this node.
@@ -492,6 +649,11 @@ func (n *Node) debugGauges() map[string]uint64 {
 	out["cluster.fenced_objects"] = uint64(n.fenceCount.Load())
 	out["move.in_flight"] = uint64(n.moveSrc.InFlight())
 	out["move.inbound_sessions"] = uint64(n.moveTgt.Sessions())
+	if n.leases.Held() {
+		out["lease.held_now"] = 1
+	} else {
+		out["lease.held_now"] = 0
+	}
 	if fault.Enabled() {
 		// The plane is process-global; every node's /metrics shows the same
 		// injected-fault truth, keyed fault.<site>.<action>.
@@ -740,9 +902,20 @@ func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
 	}
 	if readOnly {
 		for _, b := range g.Backups {
-			if b == n.addr {
+			if b != n.addr {
+				continue
+			}
+			// A backup serves a read only under a valid lease: right
+			// epoch, unexpired, apply lag in bounds. Anything else —
+			// leasing disabled, lease died with a reconfiguration, the
+			// primary stopped renewing — bounces to the primary, which
+			// is always safe.
+			if n.leases.Valid() {
+				n.backupServed.Inc()
 				return nil
 			}
+			n.primaryBounce.Inc()
+			break
 		}
 	}
 	return notResponsibleError(g.Primary)
@@ -750,12 +923,12 @@ func (n *Node) routeCheck(obj core.ObjectID, readOnly bool) error {
 
 // registerHandlers wires the RPC surface.
 func (n *Node) registerHandlers() {
-	replication.RegisterBackupFenced(n.srv, n.db, replication.BulkApplierFunc(
+	replication.RegisterBackupLeased(n.srv, n.db, replication.BulkApplierFunc(
 		func(object uint64, b *store.Batch) error {
 			return n.rt.ApplyReplicated(core.ObjectID(object), b)
 		},
 		n.rt.ApplyReplicatedBulk), n.tracer, n.metrics,
-		func() uint64 { return n.dir.Load().Epoch() })
+		func() uint64 { return n.dir.Load().Epoch() }, n.leases)
 
 	recovery.RegisterDonor(n.srv, n.donor)
 	n.recmgr.RegisterForward(n.srv)
@@ -771,7 +944,16 @@ func (n *Node) registerHandlers() {
 			return nil, err
 		}
 		if err := n.routeCheck(req.object, req.readOnly); err != nil {
-			return nil, err
+			// The client may not have flagged the request read-only, but
+			// the VM's module analysis can prove the method never touches
+			// the write buffer — such invocations are safe at any leased
+			// replica, so re-route them as reads instead of bouncing.
+			if !req.readOnly && n.rt.MethodRoutableReadOnly(req.object, req.method) {
+				err = n.routeCheck(req.object, true)
+			}
+			if err != nil {
+				return nil, err
+			}
 		}
 		if n.invSem != nil {
 			n.invSem <- struct{}{}
@@ -900,6 +1082,8 @@ func (n *Node) registerHandlers() {
 		warm, cold := n.rt.PoolStats()
 		line := fmt.Sprintf("addr=%s primary=%v invocations=%d commits=%d warm=%d cold=%d shipped=%d",
 			n.addr, n.isPrimary(), inv, com, warm, cold, n.shipper.Shipped())
+		line += fmt.Sprintf(" lease_held=%v reads_backup_served=%d reads_primary_bounced=%d",
+			n.leases.Held(), n.backupServed.Value(), n.primaryBounce.Value())
 		if c := n.rt.Cache(); c != nil {
 			st := c.Stats()
 			line += fmt.Sprintf(" cache_hits=%d cache_misses=%d cache_bypass=%d cache_invalidations=%d",

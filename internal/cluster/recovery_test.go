@@ -237,11 +237,20 @@ func mustAdd(t *testing.T, c *Client, obj core.ObjectID, delta int64) {
 
 func readAt(t *testing.T, pool *rpc.Pool, addr string, obj core.ObjectID) int64 {
 	t.Helper()
-	res, err := directInvoke(pool, addr, obj, "get", nil, true)
-	if err != nil {
-		t.Fatalf("replica read of %d at %s: %v", obj, addr, err)
+	// A backup bounces replica reads with not-responsible until the
+	// primary's first lease grant reaches it (at most TTL/4 after it
+	// became a member); retry briefly before declaring failure.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		res, err := directInvoke(pool, addr, obj, "get", nil, true)
+		if err == nil {
+			return core.BytesI64(res)
+		}
+		if _, ok := ParseNotResponsible(err); !ok || time.Now().After(deadline) {
+			t.Fatalf("replica read of %d at %s: %v", obj, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
-	return core.BytesI64(res)
 }
 
 // TestRejoinAfterDowntimeWrites is the end-to-end anti-entropy path: a

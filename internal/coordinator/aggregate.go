@@ -46,6 +46,14 @@ type GroupMetrics struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// QueueDepth is the summed rpc.server.in_flight gauge.
 	QueueDepth int64 `json:"queue_depth"`
+	// Leases is the summed lease.held gauge — how many of the group's
+	// backups currently hold a read lease.
+	Leases int64 `json:"leases"`
+	// BackupReadsPerSec is the windowed rate of reads served locally by
+	// leased backups; BouncedReadsPerSec counts reads a backup refused
+	// (no valid lease) and redirected to the primary.
+	BackupReadsPerSec  float64 `json:"backup_reads_per_sec"`
+	BouncedReadsPerSec float64 `json:"bounced_reads_per_sec"`
 	// Invoke is the merged windowed invoke histogram (with exemplars), for
 	// consumers that want more than the precomputed quantiles.
 	Invoke telemetry.HistData `json:"invoke,omitempty"`
@@ -223,6 +231,9 @@ func rollup(m telemetry.RegistrySnapshot) GroupMetrics {
 		gm.CacheHitRate = hits / (hits + misses)
 	}
 	gm.QueueDepth = m.Gauges["rpc.server.in_flight"]
+	gm.Leases = m.Gauges["lease.held"]
+	gm.BackupReadsPerSec = m.Counters["reads.backup_served"].RatePerSec
+	gm.BouncedReadsPerSec = m.Counters["reads.primary_bounced"].RatePerSec
 	return gm
 }
 
@@ -236,12 +247,13 @@ func FormatClusterMetrics(cm ClusterMetrics) string {
 	}
 	fmt.Fprintf(&b, "cluster: %d/%d member(s) scraped, window %.1fs, updated %v ago\n",
 		cm.Scraped, cm.Members, cm.Cluster.WindowSecs, age)
-	fmt.Fprintf(&b, "%-6s %-22s %8s %9s %9s %9s %11s %6s %5s\n",
-		"GROUP", "PRIMARY", "OPS/S", "P50(us)", "P99(us)", "P999(us)", "FSYNC99(us)", "CACHE", "QD")
+	fmt.Fprintf(&b, "%-6s %-22s %8s %9s %9s %9s %11s %6s %5s %6s %8s %8s\n",
+		"GROUP", "PRIMARY", "OPS/S", "P50(us)", "P99(us)", "P999(us)", "FSYNC99(us)", "CACHE", "QD", "LEASES", "BKRD/S", "BNC/S")
 	row := func(name, primary string, g GroupMetrics) {
-		fmt.Fprintf(&b, "%-6s %-22s %8.1f %9d %9d %9d %11d %5.1f%% %5d\n",
+		fmt.Fprintf(&b, "%-6s %-22s %8.1f %9d %9d %9d %11d %5.1f%% %5d %6d %8.1f %8.1f\n",
 			name, primary, g.OpsPerSec, g.P50Us, g.P99Us, g.P999Us,
-			g.WalFsyncP99Us, 100*g.CacheHitRate, g.QueueDepth)
+			g.WalFsyncP99Us, 100*g.CacheHitRate, g.QueueDepth,
+			g.Leases, g.BackupReadsPerSec, g.BouncedReadsPerSec)
 	}
 	for _, g := range cm.Groups {
 		row(fmt.Sprintf("%d", g.ID), g.Primary, g)

@@ -506,8 +506,13 @@ func (rt *Runtime) invokeCtx(id ObjectID, method string, args [][]byte, cc CallC
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, typ.Name, method)
 	}
 
+	// Inferred read-only methods (module analysis proved no reachable
+	// mutating host call) take the same shared admission and commit-free
+	// path as declared ones: the proof is static, so the write buffer is
+	// never touched. Result caching stays declared-only — Deterministic
+	// is a promise only the author can make.
 	mode := sched.Write
-	if mi.ReadOnly {
+	if mi.RoutableReadOnly() {
 		mode = sched.Read
 	}
 	iv := &invocation{
@@ -553,7 +558,7 @@ func (rt *Runtime) invokeCtx(id ObjectID, method string, args [][]byte, cc CallC
 	// Read-only invocations never commit, so they can skip the whole
 	// write-transaction apparatus: a pooled txn with no write buffer reads
 	// straight off the snapshot, and run() sees an always-clean dirty set.
-	if mi.ReadOnly && !rt.opts.DisableReadFastPath {
+	if mi.RoutableReadOnly() && !rt.opts.DisableReadFastPath {
 		iv.txn = newReadTxn(rt.db, cacheable)
 	} else {
 		iv.txn = newTxn(rt.db, cacheable)
@@ -573,6 +578,20 @@ func (rt *Runtime) invokeCtx(id ObjectID, method string, args [][]byte, cc CallC
 		rt.cache.NoteBypass()
 	}
 	return result, nil
+}
+
+// MethodRoutableReadOnly reports whether the named method of the object's
+// type may execute at a backup replica: declared read-only, or proven
+// read-only by module analysis at validation time. Unknown objects,
+// types, or methods report false (the router then applies its normal
+// primary-only rule and the primary surfaces the real error).
+func (rt *Runtime) MethodRoutableReadOnly(id ObjectID, method string) bool {
+	typ, err := rt.typeOf(id)
+	if err != nil {
+		return false
+	}
+	mi, ok := typ.Method(method)
+	return ok && mi.RoutableReadOnly()
 }
 
 // dispatch routes a nested invocation through the configured Invoker,

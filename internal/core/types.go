@@ -76,6 +76,34 @@ type MethodInfo struct {
 	// other objects are automatically excluded at run time regardless of
 	// this flag.
 	Deterministic bool
+
+	// inferredReadOnly is computed at validation time (never serialized;
+	// init recomputes it on decode): the method's reachable call graph
+	// contains no mutating host import and no cross-object invocation,
+	// so it provably never touches the write buffer even though its
+	// author did not declare it ReadOnly. Such methods are routable to
+	// leased backup replicas exactly like declared read-only ones.
+	inferredReadOnly bool
+}
+
+// RoutableReadOnly reports whether the method may execute at a backup
+// replica: declared read-only, or proven read-only by module analysis.
+func (m *MethodInfo) RoutableReadOnly() bool { return m.ReadOnly || m.inferredReadOnly }
+
+// mutatingImports are the host functions that touch the write buffer.
+// invoke/invoke_start are excluded from read-only inference too: a
+// cross-object call may mutate the callee and must run where forwarding
+// is safe (the scheduler also commits the caller before nested calls).
+var mutatingImports = map[string]bool{
+	"val_set":      true,
+	"val_del":      true,
+	"map_set":      true,
+	"map_del":      true,
+	"list_push":    true,
+	"invoke":       true,
+	"invoke_start": true,
+	"invoke_wait":  true,
+	"call_arg":     true,
 }
 
 // Errors of the object model.
@@ -145,6 +173,22 @@ func (t *ObjectType) init() error {
 		}
 		if !t.Module.HasExport(m.Name) {
 			return fmt.Errorf("%w: method %q is not an exported module function", ErrBadType, m.Name)
+		}
+		// Classify once at validation time: a method none of whose
+		// reachable host calls can mutate is read-only in fact, whatever
+		// its declaration says. The flag is advisory for routing only —
+		// execution still enforces ReadOnly via the write-buffer guard.
+		if !m.ReadOnly {
+			if imports, ok := t.Module.ReachableImports(m.Name); ok {
+				mutates := false
+				for imp := range imports {
+					if mutatingImports[imp] {
+						mutates = true
+						break
+					}
+				}
+				m.inferredReadOnly = !mutates
+			}
 		}
 		t.methodIdx[m.Name] = m
 	}

@@ -50,6 +50,10 @@ const (
 	// before relaying a committed write-set to a syncing joiner.
 	SiteRecoveryFetch   = "recovery.fetch"   // key: donor address
 	SiteRecoveryForward = "recovery.forward" // key: joiner address
+	// Read-lease renewal sends (internal/replication): delaying or
+	// dropping them models clock skew / renewal loss — the backup's lease
+	// expires and reads bounce to the primary until renewals resume.
+	SiteLeaseRenew = "lease.renew" // key: backup address
 )
 
 // Action is what an armed rule does when it fires.

@@ -76,19 +76,31 @@ func decodeApply(body []byte) (*applyMsg, error) {
 
 // applyBatchMsg is the wire form of a coalesced ship frame: the sender's
 // configuration epoch (0 = unfenced, for pre-epoch senders) followed by N
-// (object, write-set) pairs.
+// (object, write-set) pairs, optionally followed by a lease renewal blob
+// (granted TTL in microseconds + cumulative lane-enqueued entry count).
+// Pre-lease decoders read exactly N pairs and ignore the trailing bytes,
+// so the extension is wire-compatible in both directions.
 type applyBatchMsg struct {
 	epoch uint64
 	msgs  []applyMsg
+	// lease renewal piggyback; leaseTTLUs == 0 means none present.
+	leaseTTLUs   uint64
+	leaseEnq     uint64
+	leaseGrantNs uint64
 }
 
-func encodeApplyBatch(epoch uint64, entries []*shipEntry) []byte {
+func encodeApplyBatch(epoch uint64, entries []*shipEntry, leaseTTLUs, leaseEnq, leaseGrantNs uint64) []byte {
 	var buf []byte
 	buf = wire.AppendUvarint(buf, epoch)
 	buf = wire.AppendUvarint(buf, uint64(len(entries)))
 	for _, e := range entries {
 		buf = wire.AppendUvarint(buf, e.object)
 		buf = wire.AppendBytes(buf, e.data)
+	}
+	if leaseTTLUs > 0 {
+		buf = wire.AppendUvarint(buf, leaseTTLUs)
+		buf = wire.AppendUvarint(buf, leaseEnq)
+		buf = wire.AppendUvarint(buf, leaseGrantNs)
 	}
 	return buf
 }
@@ -121,6 +133,21 @@ func decodeApplyBatch(body []byte) (*applyBatchMsg, error) {
 		}
 		out.msgs = append(out.msgs, applyMsg{object: object, batch: b})
 		rest = next
+	}
+	if len(rest) > 0 {
+		ttl, next, err := wire.Uvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("replication: applyBatch lease ttl: %w", err)
+		}
+		enq, next, err := wire.Uvarint(next)
+		if err != nil {
+			return nil, fmt.Errorf("replication: applyBatch lease enq: %w", err)
+		}
+		grant, _, err := wire.Uvarint(next)
+		if err != nil {
+			return nil, fmt.Errorf("replication: applyBatch lease grant: %w", err)
+		}
+		out.leaseTTLUs, out.leaseEnq, out.leaseGrantNs = ttl, enq, grant
 	}
 	return out, nil
 }
@@ -155,6 +182,16 @@ type Shipper struct {
 	lanes       map[string]*shipLane
 	lanesClosed bool
 
+	// leaseTTL > 0 arms read-lease granting: shipped frames carry a
+	// renewal blob and the renewal loop keeps idle backups leased.
+	leaseTTL  atomic.Int64
+	renewOnce sync.Once
+	renewStop chan struct{}
+	// laneEnq counts write-set entries ever enqueued toward each backup
+	// (the backup-side lag reference; survives lane recreation).
+	laneEnqMu sync.Mutex
+	laneEnq   map[string]uint64
+
 	// telemetry (all nil-safe): shippedCtr counts acknowledged write-sets,
 	// failures counts backup rejections, shipUs tracks fan-out latency,
 	// batchSize the member count of each shipped frame.
@@ -166,7 +203,86 @@ type Shipper struct {
 
 // NewShipper returns a shipper over the given connection pool.
 func NewShipper(pool *rpc.Pool, onFailure func(addr string, err error)) *Shipper {
-	return &Shipper{pool: pool, onFailure: onFailure}
+	return &Shipper{pool: pool, onFailure: onFailure, renewStop: make(chan struct{})}
+}
+
+// SetLeaseTTL arms (ttl > 0) or disarms (ttl <= 0) read-lease granting.
+// While armed, every shipped frame renews the receiving backup's lease
+// and a background loop renews idle backups at TTL/4.
+func (s *Shipper) SetLeaseTTL(ttl time.Duration) {
+	if ttl < 0 {
+		ttl = 0
+	}
+	s.leaseTTL.Store(int64(ttl))
+	if ttl > 0 {
+		s.renewOnce.Do(func() { go s.renewLoop() })
+	}
+}
+
+// laneEnqAdd bumps addr's cumulative enqueued-entry count and returns
+// the new value.
+func (s *Shipper) laneEnqAdd(addr string, n int) uint64 {
+	s.laneEnqMu.Lock()
+	defer s.laneEnqMu.Unlock()
+	if s.laneEnq == nil {
+		s.laneEnq = make(map[string]uint64)
+	}
+	s.laneEnq[addr] += uint64(n)
+	return s.laneEnq[addr]
+}
+
+// laneEnqGet reads addr's cumulative enqueued-entry count.
+func (s *Shipper) laneEnqGet(addr string) uint64 {
+	s.laneEnqMu.Lock()
+	defer s.laneEnqMu.Unlock()
+	return s.laneEnq[addr]
+}
+
+// renewLoop keeps every current backup's lease fresh while the group is
+// idle; frames piggyback renewals on their own when writes flow. Send
+// failures are ignored — the backup's lease simply expires and it
+// bounces reads to the primary until renewals get through again.
+func (s *Shipper) renewLoop() {
+	for {
+		ttl := time.Duration(s.leaseTTL.Load())
+		if ttl <= 0 {
+			ttl = 100 * time.Millisecond
+		}
+		select {
+		case <-s.renewStop:
+			return
+		case <-time.After(ttl / 4):
+		}
+		ttl = time.Duration(s.leaseTTL.Load())
+		epoch := s.epoch.Load()
+		if ttl <= 0 || epoch == 0 {
+			continue
+		}
+		for _, addr := range s.Backups() {
+			go func(addr string) {
+				// Stamp before the fault-plane delay: an injected renewal
+				// delay models in-flight latency, which must eat into the
+				// granted window rather than shift it.
+				grantNs := uint64(time.Now().UnixNano())
+				if fault.Enabled() {
+					d := fault.Eval(fault.SiteLeaseRenew, addr)
+					if d.Delay > 0 {
+						time.Sleep(d.Delay)
+					}
+					if d.Err != nil || d.Drop {
+						return
+					}
+				}
+				body := encodeLease(leaseMsg{
+					epoch:   epoch,
+					ttlUs:   uint64(ttl / time.Microsecond),
+					enq:     s.laneEnqGet(addr),
+					grantNs: grantNs,
+				})
+				s.pool.Call(addr, MethodLease, body)
+			}(addr)
+		}
+	}
 }
 
 // SetTelemetry wires the shipper's counters into reg: shipped write-sets,
@@ -209,6 +325,7 @@ func (s *Shipper) Close() {
 	lanes := s.lanes
 	s.lanes = nil
 	s.lanesMu.Unlock()
+	close(s.renewStop)
 	for _, l := range lanes {
 		close(l.stop)
 	}
@@ -353,7 +470,16 @@ func (s *Shipper) shipFrame(addr string, entries []*shipEntry) error {
 			return nil
 		}
 	}
-	body := encodeApplyBatch(s.epoch.Load(), entries)
+	var ttlUs, enq, grantNs uint64
+	epoch := s.epoch.Load()
+	if ttl := time.Duration(s.leaseTTL.Load()); ttl > 0 && epoch != 0 {
+		ttlUs = uint64(ttl / time.Microsecond)
+		enq = s.laneEnqAdd(addr, len(entries))
+		// Stamped at send so the backup measures expiry from our clock:
+		// any time this frame spends in flight is burned off the lease.
+		grantNs = uint64(time.Now().UnixNano())
+	}
+	body := encodeApplyBatch(epoch, entries, ttlUs, enq, grantNs)
 	_, err := s.pool.CallCtx(addr, entries[0].ctx, MethodApplyBatch, body)
 	if bs := s.batchSize; bs != nil {
 		bs.Record(time.Duration(len(entries)) * time.Microsecond)
@@ -488,6 +614,14 @@ func RegisterBackupTelemetry(srv *rpc.Server, db *store.DB, applier Applier, tra
 // after its group has been reconfigured (DESIGN.md §8). Rejections are
 // counted in reg ("repl.stale_epoch").
 func RegisterBackupFenced(srv *rpc.Server, db *store.DB, applier Applier, tracer *telemetry.Tracer, reg *telemetry.Registry, localEpoch func() uint64) {
+	RegisterBackupLeased(srv, db, applier, tracer, reg, localEpoch, nil)
+}
+
+// RegisterBackupLeased is RegisterBackupFenced with a read-lease holder:
+// applyBatch frames feed the holder's applied counter and any piggybacked
+// renewal blob, and the standalone MethodLease renewal handler is
+// registered. holder may be nil (leases disabled on this node).
+func RegisterBackupLeased(srv *rpc.Server, db *store.DB, applier Applier, tracer *telemetry.Tracer, reg *telemetry.Registry, localEpoch func() uint64, holder *LeaseHolder) {
 	var applied, stale *telemetry.Counter
 	if reg != nil {
 		applied = reg.Counter("repl.applied")
@@ -505,6 +639,7 @@ func RegisterBackupFenced(srv *rpc.Server, db *store.DB, applier Applier, tracer
 		if err != nil {
 			return nil, err
 		}
+		holder.NoteApplied(1)
 		if applied != nil {
 			applied.Inc()
 		}
@@ -569,6 +704,14 @@ func RegisterBackupFenced(srv *rpc.Server, db *store.DB, applier Applier, tracer
 			sp.FinishErr(err)
 			return nil, err
 		}
+		// Lease bookkeeping strictly after a successful apply: the frame's
+		// entries are now visible locally (and its caches invalidated), so
+		// counting them applied — and honoring any piggybacked renewal —
+		// can never let a read race ahead of the data it covers.
+		holder.NoteApplied(len(msg.msgs))
+		if msg.leaseTTLUs > 0 {
+			holder.Renew(leaseMsg{epoch: msg.epoch, ttlUs: msg.leaseTTLUs, enq: msg.leaseEnq, grantNs: msg.leaseGrantNs})
+		}
 		if applied != nil {
 			applied.Add(uint64(len(msg.msgs)))
 		}
@@ -582,6 +725,9 @@ func RegisterBackupFenced(srv *rpc.Server, db *store.DB, applier Applier, tracer
 		}
 		return serveFetch(db, req)
 	})
+	if holder != nil {
+		registerLease(srv, holder)
+	}
 }
 
 // --- range state transfer ---

@@ -72,6 +72,42 @@ func (m *Module) HasExport(name string) bool {
 	return i >= 0 && m.Funcs[i].Exported
 }
 
+// ReachableImports returns the set of host import names any execution of
+// the named function could reach, following guest call edges (opCall)
+// transitively. The walk is conservative — every statically present call
+// site counts, reachable or not at run time — which is exactly what the
+// read-only method classifier wants: a method whose reachable imports
+// include no mutating host function provably never touches the write
+// buffer. ok is false when no such function exists.
+func (m *Module) ReachableImports(entry string) (map[string]bool, bool) {
+	start := m.FuncIndex(entry)
+	if start < 0 {
+		return nil, false
+	}
+	seen := make([]bool, len(m.Funcs))
+	stack := []int{start}
+	imports := make(map[string]bool)
+	for len(stack) > 0 {
+		fi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fi < 0 || fi >= len(m.Funcs) || seen[fi] {
+			continue
+		}
+		seen[fi] = true
+		for _, in := range m.Funcs[fi].code {
+			switch in.op {
+			case opCall:
+				stack = append(stack, int(in.arg))
+			case opHostCall:
+				if in.arg >= 0 && in.arg < int64(len(m.Imports)) {
+					imports[m.Imports[in.arg]] = true
+				}
+			}
+		}
+	}
+	return imports, true
+}
+
 // ExportNames returns the names of all exported functions.
 func (m *Module) ExportNames() []string {
 	var names []string
