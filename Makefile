@@ -11,12 +11,13 @@
 #   make bench-recovery  rejoin cost, digest diff vs full resync (JSON artifact)
 #   make bench-rebalance many-group placement + Zipf hot-spot convergence (JSON artifact)
 #   make bench-read-scaleout  leased replica reads vs primary-only routing (JSON artifact)
+#   make bench-vm     VM tier: token-threaded dispatch vs interpreter (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance bench-read-scaleout vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance bench-read-scaleout bench-vm vet check clean
 
 all: build
 
@@ -27,10 +28,11 @@ test:
 	$(GO) test ./...
 
 # The packages where a data race would actually hide: the runtime, the
-# cluster node, the caches on the read path, the store, and the telemetry
-# instruments themselves.
+# cluster node, the caches on the read path, the store, the telemetry
+# instruments themselves, and the VM (lazy module compilation is shared
+# across instances; the differential test runs both tiers under -race).
 race:
-	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/ ./internal/replication/
+	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/ ./internal/replication/ ./internal/vm/
 
 # Deterministic failover chaos: every seed replays the same kill/partition/
 # fsync-failure schedule (see EXPERIMENTS.md "Chaos runs"). The smoke
@@ -82,6 +84,14 @@ bench-rebalance:
 # p99 within 10% of the lease-free baseline.
 bench-read-scaleout:
 	$(GO) run ./cmd/lambda-bench -read-scaleout -ops 4000 -out results/BENCH_read_scaleout.json
+
+# VM execution tier: the AOT token-threaded compiler vs the switch
+# interpreter — compute-heavy and memory-touching kernels measured
+# directly (Call/ResetFast against one warm instance), then end-to-end
+# GetTimeline with the result cache disabled so every read executes the
+# VM. The acceptance bar is >=2x on the compute-heavy microbench.
+bench-vm:
+	$(GO) run ./cmd/lambda-bench -vm -ops 4000 -out results/BENCH_vm_compile.json
 
 vet:
 	@fmt_out=$$(gofmt -l .); \

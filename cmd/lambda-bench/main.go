@@ -13,6 +13,7 @@
 //	lambda-bench -recovery                rejoin cost: digest diff vs full resync
 //	lambda-bench -rebalance               many-group placement + Zipf hot-spot convergence
 //	lambda-bench -read-scaleout           leased replica reads vs primary-only routing
+//	lambda-bench -vm                      VM tier: token-threaded dispatch vs interpreter
 //	lambda-bench -all                     everything
 package main
 
@@ -42,6 +43,7 @@ func main() {
 		recov       = flag.Bool("recovery", false, "run the rejoin benchmark (range-digest diff vs full resync)")
 		rebal       = flag.Bool("rebalance", false, "run the rebalance benchmark (throughput vs groups, Zipf hot-spot convergence)")
 		readScale   = flag.Bool("read-scaleout", false, "run the read scale-out benchmark (leased replica reads vs primary-only)")
+		vmCompile   = flag.Bool("vm", false, "run the VM-tier benchmark (token-threaded vs interpreter, micro + end-to-end)")
 		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -162,6 +164,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunReadScaleout(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: read-scaleout: %v", err)
+		}
+		fmt.Println()
+	}
+	if *vmCompile {
+		ran = true
+		if _, err := bench.RunVMCompile(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: vm: %v", err)
 		}
 		fmt.Println()
 	}

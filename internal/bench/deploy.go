@@ -48,6 +48,7 @@ type Options struct {
 	StateCacheEntries   int  // store hot-state cache (0 default; negative = off)
 	DisableReadFastPath bool // read-only invocations take the full txn path
 	FullVMReset         bool // warm VM reuse re-images all memory
+	VMInterp            bool // force the switch interpreter (no threaded tier)
 
 	// Observability-overhead knobs (benchmarked by RunObservability).
 	DisableMetrics bool // withhold the registry from every hot-path component
@@ -89,6 +90,14 @@ func (o *Options) groupCommitWait() time.Duration {
 		return 0
 	}
 	return 2 * time.Millisecond
+}
+
+// vmTier maps the VMInterp ablation flag onto the runtime's tier name.
+func (o *Options) vmTier() string {
+	if o.VMInterp {
+		return "interp"
+	}
+	return ""
 }
 
 // clientOpts builds the RPC options with injected network delay.
@@ -170,6 +179,7 @@ func StartAggregated(opts Options) (*Deployment, error) {
 				DisableScheduler:    opts.DisableSched,
 				DisableReadFastPath: opts.DisableReadFastPath,
 				FullVMReset:         opts.FullVMReset,
+				VMTier:              opts.vmTier(),
 			},
 			Directory:             dir,
 			ClientOptions:         opts.clientOpts(),

@@ -64,12 +64,13 @@ type readPathAblation struct {
 
 // ablateAll turns every read-path optimization off: unsharded result
 // cache, no state cache, full VM re-image per warm start, no read-only
-// fast path.
+// fast path, interpreted bytecode execution.
 func ablateAll(o *Options) {
 	o.CacheShards = 1
 	o.StateCacheEntries = -1
 	o.FullVMReset = true
 	o.DisableReadFastPath = true
+	o.VMInterp = true
 }
 
 var readPathAblations = []readPathAblation{
@@ -78,6 +79,7 @@ var readPathAblations = []readPathAblation{
 	{"statecache", func(o *Options) { ablateAll(o); o.StateCacheEntries = 0 }},
 	{"vmpool", func(o *Options) { ablateAll(o); o.FullVMReset = false }},
 	{"fastpath", func(o *Options) { ablateAll(o); o.DisableReadFastPath = false }},
+	{"vmcompile", func(o *Options) { ablateAll(o); o.VMInterp = false }},
 	{"all", func(o *Options) {}},
 }
 

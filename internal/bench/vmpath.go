@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lambdastore/internal/vm"
+)
+
+// vmClients are the closed-loop client counts swept per tier in the
+// end-to-end half of the VM-compile benchmark.
+var vmClients = []int{1, 8, 64}
+
+// vmMicroFuel is the per-call budget for the microbench kernels: generous
+// enough that no call traps, metered (as production is) so both tiers pay
+// the same per-block fuel accounting.
+const vmMicroFuel = 64 << 20
+
+// vmSpinSrc is the compute-heavy kernel: a counted loop of pure register
+// arithmetic, the shape where dispatch overhead dominates and the
+// threaded tier's fused register-form code shows its full advantage.
+const vmSpinSrc = `
+func spin params=1 locals=3 export
+loop:
+  local.get 1
+  local.get 0
+  ge_s
+  jnz done
+  local.get 2
+  local.get 1
+  mul
+  push 7
+  add
+  local.get 1
+  xor
+  local.set 2
+  local.get 1
+  push 1
+  add
+  local.set 1
+  jmp loop
+done:
+  local.get 2
+  ret
+end
+`
+
+// vmTouchSrc is the memory-touching kernel: each iteration stores and
+// reloads one word of linear memory, so bounds checks and dirty-region
+// tracking sit on the hot path alongside dispatch.
+const vmTouchSrc = `
+func touch params=1 locals=3 export
+loop:
+  local.get 1
+  local.get 0
+  ge_s
+  jnz done
+  local.get 1
+  push 3
+  shl
+  local.get 1
+  push 31
+  mul
+  store64
+  local.get 1
+  push 3
+  shl
+  load64
+  local.get 2
+  xor
+  local.set 2
+  local.get 1
+  push 1
+  add
+  local.set 1
+  jmp loop
+done:
+  local.get 2
+  ret
+end
+`
+
+// VMMicroPoint is one (kernel, tier) microbench measurement: direct
+// Call/ResetFast loops against a single instance, no RPC or storage.
+type VMMicroPoint struct {
+	Kernel   string  `json:"kernel"`
+	Tier     string  `json:"tier"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	FuelUsed int64   `json:"fuel_used_per_op"`
+}
+
+// VMCompileReport is the results/BENCH_vm_compile.json document.
+type VMCompileReport struct {
+	GeneratedBy string `json:"generated_by"`
+	Workload    string `json:"workload"`
+	Accounts    int    `json:"accounts"`
+	Ops         int    `json:"ops"`
+	Replicas    int    `json:"replicas"`
+	Clients     []int  `json:"clients"`
+	// EndToEnd holds GetTimeline sweeps with the result cache disabled so
+	// every read executes the VM warm; configs "interp" and "threaded".
+	EndToEnd []ReadPathPoint `json:"end_to_end"`
+	// Micro holds the direct kernel measurements per tier.
+	Micro []VMMicroPoint `json:"micro"`
+	// MicroSpeedup maps kernel name to interp-ns / threaded-ns.
+	MicroSpeedup map[string]float64 `json:"micro_speedup"`
+	// SpeedupAt64 is threaded over interp GetTimeline throughput at the
+	// highest client count.
+	SpeedupAt64 float64 `json:"speedup_at_64_clients"`
+}
+
+// runVMMicro measures one kernel under one tier: reps calls against a
+// single warm instance, ResetFast between calls (the pool's warm path).
+func runVMMicro(src, entry, kernel string, tierName string, tier vm.Tier, arg int64, reps int) (VMMicroPoint, error) {
+	out := VMMicroPoint{Kernel: kernel, Tier: tierName}
+	mod, err := vm.Assemble(src)
+	if err != nil {
+		return out, fmt.Errorf("bench: vm kernel %s: %w", kernel, err)
+	}
+	inst, err := vm.NewInstance(mod, nil, vmMicroFuel)
+	if err != nil {
+		return out, err
+	}
+	inst.SetTier(tier)
+	if tier == vm.TierThreaded && inst.EffectiveTier() != vm.TierThreaded {
+		return out, fmt.Errorf("bench: vm kernel %s fell back to the interpreter", kernel)
+	}
+	idx := mod.FuncIndex(entry)
+	args := []int64{arg}
+	// Warmup: grow the register file and fault in memory pages.
+	if _, err := inst.CallIndex(idx, args...); err != nil {
+		return out, err
+	}
+	out.FuelUsed = inst.FuelUsed()
+	inst.ResetFast(vmMicroFuel)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := inst.CallIndex(idx, args...); err != nil {
+			return out, err
+		}
+		inst.ResetFast(vmMicroFuel)
+	}
+	out.NsPerOp = float64(time.Since(start).Nanoseconds()) / float64(reps)
+	return out, nil
+}
+
+// vmMicroKernels defines the microbench suite: loop trip counts sized so
+// one interpreted call costs tens of microseconds — long enough to swamp
+// call overhead, short enough to finish thousands of reps quickly.
+var vmMicroKernels = []struct {
+	name  string
+	src   string
+	entry string
+	arg   int64
+	reps  int
+}{
+	{"spinsum", vmSpinSrc, "spin", 4000, 3000},
+	{"memtouch", vmTouchSrc, "touch", 4000, 3000},
+}
+
+// RunVMCompile benchmarks the AOT token-threaded tier against the switch
+// interpreter: direct kernel microbenches, then end-to-end GetTimeline
+// with the result cache disabled (every read executes the VM warm). An
+// empty outPath skips the JSON artifact.
+func RunVMCompile(opts Options, outPath string, w io.Writer) (*VMCompileReport, error) {
+	if opts.Accounts > 64 {
+		opts.Accounts = 64
+	}
+	if opts.OpsPerWorkload < 3000 {
+		opts.OpsPerWorkload = 3000
+	}
+
+	rep := &VMCompileReport{
+		GeneratedBy:  "make bench-vm",
+		Workload:     "get_timeline (result cache off) + vm kernels",
+		Accounts:     opts.Accounts,
+		Ops:          opts.OpsPerWorkload,
+		Replicas:     opts.Replicas,
+		Clients:      vmClients,
+		MicroSpeedup: make(map[string]float64),
+	}
+
+	if w != nil {
+		fmt.Fprintln(w, "VM compile: token-threaded tier vs switch interpreter")
+	}
+	for _, k := range vmMicroKernels {
+		interp, err := runVMMicro(k.src, k.entry, k.name, "interp", vm.TierInterp, k.arg, k.reps)
+		if err != nil {
+			return nil, err
+		}
+		threaded, err := runVMMicro(k.src, k.entry, k.name, "threaded", vm.TierThreaded, k.arg, k.reps)
+		if err != nil {
+			return nil, err
+		}
+		if interp.FuelUsed != threaded.FuelUsed {
+			return nil, fmt.Errorf("bench: vm kernel %s: fuel diverged (interp %d, threaded %d)",
+				k.name, interp.FuelUsed, threaded.FuelUsed)
+		}
+		rep.Micro = append(rep.Micro, interp, threaded)
+		speedup := interp.NsPerOp / threaded.NsPerOp
+		rep.MicroSpeedup[k.name] = speedup
+		if w != nil {
+			fmt.Fprintf(w, "  micro %-9s interp=%9.0f ns/op  threaded=%9.0f ns/op  speedup=%.2fx  fuel=%d\n",
+				k.name, interp.NsPerOp, threaded.NsPerOp, speedup, interp.FuelUsed)
+		}
+	}
+
+	var interpAtMax, threadedAtMax float64
+	for _, tier := range []struct {
+		name   string
+		interp bool
+	}{{"interp", true}, {"threaded", false}} {
+		o := opts
+		o.CacheEntries = 0 // every read executes the VM
+		o.VMInterp = tier.interp
+		for _, clients := range vmClients {
+			p, err := runReadPathPoint(o, tier.name, clients)
+			if err != nil {
+				return nil, fmt.Errorf("bench: vm-compile %s/%d: %w", tier.name, clients, err)
+			}
+			rep.EndToEnd = append(rep.EndToEnd, p)
+			if clients == vmClients[len(vmClients)-1] {
+				if tier.interp {
+					interpAtMax = p.Throughput
+				} else {
+					threadedAtMax = p.Throughput
+				}
+			}
+			if w != nil {
+				fmt.Fprintf(w, "  e2e %-9s c=%-3d thr=%9.1f ops/s  p50=%6dus p99=%6dus  errs=%d\n",
+					p.Config, p.Clients, p.Throughput, p.P50Micros, p.P99Micros, p.Errors)
+			}
+		}
+	}
+	if interpAtMax > 0 {
+		rep.SpeedupAt64 = threadedAtMax / interpAtMax
+	}
+	if w != nil {
+		fmt.Fprintf(w, "  e2e speedup at %d clients (threaded vs interp): %.2fx\n",
+			vmClients[len(vmClients)-1], rep.SpeedupAt64)
+	}
+
+	if outPath != "" {
+		if err := writeVMCompileReport(rep, outPath); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// writeVMCompileReport stores the report as indented JSON.
+func writeVMCompileReport(rep *VMCompileReport, path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

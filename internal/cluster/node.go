@@ -17,6 +17,7 @@ import (
 	"lambdastore/internal/shard"
 	"lambdastore/internal/store"
 	"lambdastore/internal/telemetry"
+	"lambdastore/internal/vm"
 	"lambdastore/internal/wire"
 )
 
@@ -649,6 +650,10 @@ func (n *Node) debugGauges() map[string]uint64 {
 	out["cluster.fenced_objects"] = uint64(n.fenceCount.Load())
 	out["move.in_flight"] = uint64(n.moveSrc.InFlight())
 	out["move.inbound_sessions"] = uint64(n.moveTgt.Sessions())
+	cs := vm.CompilerStats()
+	out["vm.compiled_modules"] = cs.CompiledModules
+	out["vm.interp_fallbacks"] = cs.InterpFallbacks
+	out["vm.compile_ns"] = uint64(cs.CompileNs)
 	if n.leases.Held() {
 		out["lease.held_now"] = 1
 	} else {
@@ -1089,6 +1094,9 @@ func (n *Node) registerHandlers() {
 			line += fmt.Sprintf(" cache_hits=%d cache_misses=%d cache_bypass=%d cache_invalidations=%d",
 				st.Hits, st.Misses, st.Bypass, st.Invalidations)
 		}
+		cs := vm.CompilerStats()
+		line += fmt.Sprintf(" vm_compiled=%d vm_fallbacks=%d vm_compile_ns=%d",
+			cs.CompiledModules, cs.InterpFallbacks, cs.CompileNs)
 		return []byte(line), nil
 	})
 }

@@ -29,17 +29,19 @@ type instancePool struct {
 	hosts     *vm.HostTable
 	fuel      int64
 	fullReset bool
+	tier      vm.Tier
 
 	warm uint64
 	cold uint64
 }
 
-func newInstancePool(hosts *vm.HostTable, fuel int64, fullReset bool) *instancePool {
+func newInstancePool(hosts *vm.HostTable, fuel int64, fullReset bool, tier vm.Tier) *instancePool {
 	return &instancePool{
 		idle:      make(map[poolKey][]*vm.Instance),
 		hosts:     hosts,
 		fuel:      fuel,
 		fullReset: fullReset,
+		tier:      tier,
 	}
 }
 
@@ -62,7 +64,12 @@ func (p *instancePool) get(module *vm.Module, method string) (*vm.Instance, erro
 	}
 	p.cold++
 	p.mu.Unlock()
-	return vm.NewInstance(module, p.hosts, p.fuel)
+	inst, err := vm.NewInstance(module, p.hosts, p.fuel)
+	if err != nil {
+		return nil, err
+	}
+	inst.SetTier(p.tier)
+	return inst, nil
 }
 
 // put returns an instance for reuse.

@@ -56,6 +56,10 @@ type Options struct {
 	// memory instead of zeroing only the dirtied region. Ablation knob;
 	// production uses the cheap reset.
 	FullVMReset bool
+	// VMTier selects the bytecode execution tier: "" or "threaded" for
+	// the AOT token-threaded compiler (default), "interp" to force the
+	// switch interpreter. Ablation knob for the vm-compile benchmark.
+	VMTier string
 	// Clock supplies the time host call; nil means time.Now-based.
 	Clock func() int64
 	// Invoker routes cross-object invocations; nil routes everything to
@@ -165,8 +169,12 @@ func NewRuntime(db *store.DB, opts Options) (*Runtime, error) {
 	if opts.Fuel == 0 {
 		rt.opts.Fuel = DefaultFuel
 	}
+	tier, err := vm.ParseTier(opts.VMTier)
+	if err != nil {
+		return nil, err
+	}
 	rt.hosts = newHostTable()
-	rt.pool = newInstancePool(rt.hosts, rt.opts.Fuel, opts.FullVMReset)
+	rt.pool = newInstancePool(rt.hosts, rt.opts.Fuel, opts.FullVMReset, tier)
 	rt.locks = sched.NewTable()
 	if opts.LockTimeout > 0 {
 		rt.locks.Timeout = opts.LockTimeout

@@ -1,0 +1,31 @@
+package vm
+
+import "testing"
+
+// benchSpin measures warm compute-bound invocations — CallIndex plus the
+// pooled-instance ResetFast — on one tier, mirroring how the runtime
+// drives co-located reads.
+func benchSpin(b *testing.B, tier Tier) {
+	mod := MustAssemble(spinSrc)
+	inst, err := NewInstance(mod, nil, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.SetTier(tier)
+	idx := mod.FuncIndex("spin")
+	if _, err := inst.CallIndex(idx, 4000); err != nil {
+		b.Fatal(err)
+	}
+	inst.ResetFast(64 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.CallIndex(idx, 4000); err != nil {
+			b.Fatal(err)
+		}
+		inst.ResetFast(64 << 20)
+	}
+}
+
+func BenchmarkSpinThreaded(b *testing.B) { benchSpin(b, TierThreaded) }
+
+func BenchmarkSpinInterp(b *testing.B) { benchSpin(b, TierInterp) }

@@ -1,0 +1,403 @@
+package vm
+
+// Differential execution tests: seeded generators produce modules that
+// run through both tiers — the switch interpreter and the AOT threaded
+// code — asserting identical results, error strings (trap identity and
+// location), FuelUsed, final linear memory, and host-call sequences.
+// Each module is then ResetFast and re-run, so a compiled store that
+// failed to raise the dirty high-water mark would leak state into the
+// second round and diverge.
+//
+// The structured generator emits depth-disciplined assembly (every
+// function returns one value, loops use dedicated counters so unmetered
+// runs terminate) that must always compile; the raw generator emits
+// random valid-but-undisciplined bytecode that exercises static
+// underflow traps and the interpreter fallback, and runs metered only.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// diffHosts builds a host table whose calls append (tag, args...) to log,
+// so the two tiers' host interaction order is comparable. poke writes
+// guest memory through the host path (MemWrite tracks the dirty region)
+// and returns a host error on out-of-bounds addresses.
+func diffHosts(log *[]int64) *HostTable {
+	t := NewHostTable()
+	t.Register(HostFunc{
+		Name: "mix", NArgs: 2, HasRet: true, Cost: 16,
+		Fn: func(inst *Instance, args []int64) (int64, error) {
+			*log = append(*log, 1, args[0], args[1])
+			return (args[0]*31 + args[1]) ^ 0x5a5a, nil
+		},
+	})
+	t.Register(HostFunc{
+		Name: "poke", NArgs: 2, HasRet: false, Cost: 16,
+		Fn: func(inst *Instance, args []int64) (int64, error) {
+			*log = append(*log, 2, args[0], args[1])
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(args[1]))
+			return 0, inst.MemWrite(args[0], b[:])
+		},
+	})
+	return t
+}
+
+// sgen emits structured random assembly.
+type sgen struct {
+	r     *rand.Rand
+	b     strings.Builder
+	label int
+	funcs []string // earlier functions, callable (params=1, one result)
+}
+
+func (g *sgen) lbl() string {
+	g.label++
+	return fmt.Sprintf("L%d", g.label)
+}
+
+func (g *sgen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// loc picks a general-purpose local (0..3); locals 4 and 5 are reserved
+// loop counters so random stores cannot break loop termination.
+func (g *sgen) loc() int { return g.r.Intn(4) }
+
+// pushVal emits instructions leaving exactly one value on the stack.
+func (g *sgen) pushVal() {
+	switch g.r.Intn(6) {
+	case 0:
+		g.emit("  push %d", g.r.Intn(10000)-100)
+	case 1, 2:
+		g.emit("  local.get %d", g.loc())
+	case 3:
+		g.emit("  local.get %d", g.loc())
+		g.emit("  local.get %d", g.loc())
+		g.emit("  %s", []string{"add", "sub", "mul", "and", "or", "xor"}[g.r.Intn(6)])
+	case 4:
+		g.emit("  local.get %d", g.loc())
+		g.emit("  eqz")
+	default:
+		g.emit("  local.get %d", g.loc())
+		g.emit("  push %d", 1+g.r.Intn(50))
+		g.emit("  %s", []string{"add", "shl", "shr_s", "shr_u", "div_s", "rem_s", "lt_s", "ge_s"}[g.r.Intn(8)])
+	}
+}
+
+// addr emits one address push: usually in bounds, occasionally past the
+// one-page memory or negative so bounds traps are exercised.
+func (g *sgen) addr() {
+	switch g.r.Intn(20) {
+	case 0:
+		g.emit("  push %d", PageBytes+g.r.Intn(5000))
+	case 1:
+		g.emit("  push -%d", 1+g.r.Intn(16))
+	default:
+		g.emit("  push %d", g.r.Intn(6000))
+	}
+}
+
+// stmt emits one stack-neutral statement. loops counts enclosing loops
+// (for counter assignment); nest limits recursion.
+func (g *sgen) stmt(nest, loops int) {
+	switch g.r.Intn(14) {
+	case 0, 1:
+		g.pushVal()
+		g.pushVal()
+		g.emit("  %s", []string{"add", "sub", "mul", "div_s", "rem_s", "xor", "eq", "lt_s", "gt_s"}[g.r.Intn(9)])
+		g.emit("  local.set %d", g.loc())
+	case 2:
+		g.addr()
+		g.pushVal()
+		if g.r.Intn(2) == 0 {
+			g.emit("  store64")
+		} else {
+			g.emit("  store8")
+		}
+	case 3:
+		g.addr()
+		if g.r.Intn(2) == 0 {
+			g.emit("  load64")
+		} else {
+			g.emit("  load8_u")
+		}
+		g.emit("  local.set %d", g.loc())
+	case 4:
+		if nest > 0 {
+			alt, end := g.lbl(), g.lbl()
+			g.pushVal()
+			g.emit("  jz %s", alt)
+			g.stmts(nest-1, loops)
+			g.emit("  jmp %s", end)
+			g.emit("%s:", alt)
+			g.stmts(nest-1, loops)
+			g.emit("%s:", end)
+			return
+		}
+		g.pushVal()
+		g.emit("  local.set %d", g.loc())
+	case 5:
+		if nest > 0 && loops < 2 {
+			ctr := 4 + loops // dedicated counter local
+			top, done := g.lbl(), g.lbl()
+			g.emit("  push %d", 1+g.r.Intn(4))
+			g.emit("  local.set %d", ctr)
+			g.emit("%s:", top)
+			g.emit("  local.get %d", ctr)
+			g.emit("  jz %s", done)
+			g.stmts(nest-1, loops+1)
+			g.emit("  local.get %d", ctr)
+			g.emit("  push 1")
+			g.emit("  sub")
+			g.emit("  local.set %d", ctr)
+			g.emit("  jmp %s", top)
+			g.emit("%s:", done)
+			return
+		}
+		g.pushVal()
+		g.emit("  pop")
+	case 6:
+		if len(g.funcs) > 0 {
+			g.pushVal()
+			g.emit("  call %s", g.funcs[g.r.Intn(len(g.funcs))])
+			g.emit("  local.set %d", g.loc())
+			return
+		}
+		g.pushVal()
+		g.emit("  local.set %d", g.loc())
+	case 7:
+		g.pushVal()
+		g.pushVal()
+		g.emit("  hostcall mix")
+		g.emit("  local.set %d", g.loc())
+	case 8:
+		g.addr()
+		g.pushVal()
+		g.emit("  hostcall poke")
+	case 9:
+		g.pushVal()
+		g.emit("  dup")
+		g.emit("  mul")
+		g.emit("  local.set %d", g.loc())
+	case 10:
+		g.pushVal()
+		g.pushVal()
+		g.emit("  swap")
+		g.emit("  sub")
+		g.emit("  local.set %d", g.loc())
+	case 11:
+		g.emit("  memsize")
+		g.emit("  local.set %d", g.loc())
+	case 12:
+		g.emit("  local.get %d", g.loc())
+		g.emit("  unpack_%s", []string{"ptr", "len"}[g.r.Intn(2)])
+		g.emit("  local.set %d", g.loc())
+	default:
+		// Fused-pattern bait: the exact windows the peepholes match.
+		i, j, k := g.loc(), g.loc(), g.loc()
+		g.emit("  local.get %d", i)
+		g.emit("  local.get %d", j)
+		g.emit("  %s", []string{"add", "sub", "mul"}[g.r.Intn(3)])
+		g.emit("  local.set %d", k)
+	}
+}
+
+func (g *sgen) stmts(nest, loops int) {
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.stmt(nest, loops)
+	}
+}
+
+func (g *sgen) genFunc(name string, exported bool) {
+	decl := fmt.Sprintf("func %s params=1 locals=5", name)
+	if exported {
+		decl += " export"
+	}
+	g.emit("%s", decl)
+	g.stmts(2, 0)
+	g.emit("  local.get %d", g.loc())
+	g.emit("  ret")
+	g.emit("end")
+	g.emit("")
+}
+
+// genStructured produces one random module: a few helpers plus an
+// exported main, every function depth-disciplined.
+func genStructured(r *rand.Rand) string {
+	g := &sgen{r: r}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		name := fmt.Sprintf("helper%d", i)
+		g.genFunc(name, false)
+		g.funcs = append(g.funcs, name)
+	}
+	g.genFunc("main", true)
+	return g.b.String()
+}
+
+// rawOps is the opcode palette of the undisciplined generator: no calls
+// or host calls, so modules are import-free (compiled — or rejected — at
+// Validate) and every loop is bounded by the metered fuel budget.
+var rawOps = []opcode{
+	opNop, opPush, opPop, opDup, opSwap,
+	opLocalGet, opLocalSet, opLocalTee,
+	opJmp, opJz, opJnz,
+	opAdd, opSub, opMul, opDivS, opRemS, opAnd, opOr, opXor,
+	opShl, opShrS, opShrU,
+	opEq, opNe, opLtS, opGtS, opLeS, opGeS, opEqz,
+	opLoad8U, opLoad64, opStore8, opStore64,
+	opMemSize, opAddI, opUnpackPtr, opUnpackLen,
+}
+
+// genRaw builds a random valid-by-Validate module directly from opcodes,
+// with no stack discipline: depth-inconsistent programs fall back to the
+// interpreter, depth-consistent ones often compile with static-underflow
+// trap sites — both still must match the interpreter exactly.
+func genRaw(r *rand.Rand) *Module {
+	n := 5 + r.Intn(24)
+	code := make([]instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		op := rawOps[r.Intn(len(rawOps))]
+		var arg int64
+		switch {
+		case isBranch[op]:
+			arg = int64(r.Intn(n + 1))
+		case op == opLocalGet || op == opLocalSet || op == opLocalTee:
+			arg = int64(r.Intn(3))
+		case op == opPush:
+			arg = int64(r.Intn(4000) - 10)
+		case op == opAddI:
+			arg = int64(r.Intn(64) - 8)
+		}
+		code = append(code, instr{op: op, arg: arg})
+	}
+	code = append(code, instr{op: opRet})
+	m := &Module{Funcs: []Func{{
+		Name: "main", NumParams: 1, NumLocals: 2, Exported: true, code: code,
+	}}}
+	if err := m.Validate(); err != nil {
+		return nil
+	}
+	return m
+}
+
+// runDiff executes entry(arg) on both tiers of mod and fails on any
+// observable divergence, then ResetFasts both instances and runs a second
+// round to catch dirty-region leaks across pooled reuse.
+func runDiff(t *testing.T, mod *Module, withHosts bool, arg, fuel int64, tag string) {
+	t.Helper()
+	var logA, logB []int64
+	var htA, htB *HostTable
+	if withHosts {
+		htA, htB = diffHosts(&logA), diffHosts(&logB)
+	}
+	ia, err := NewInstance(mod, htA, fuel)
+	if err != nil {
+		t.Fatalf("%s: interp instance: %v", tag, err)
+	}
+	ib, err := NewInstance(mod, htB, fuel)
+	if err != nil {
+		t.Fatalf("%s: threaded instance: %v", tag, err)
+	}
+	ia.SetTier(TierInterp)
+
+	round := func(n int) {
+		t.Helper()
+		ra, ea := ia.Call("main", arg)
+		rb, eb := ib.Call("main", arg)
+		if (ea == nil) != (eb == nil) || (ea != nil && ea.Error() != eb.Error()) {
+			t.Fatalf("%s round %d: trap divergence\ninterp:   %v\nthreaded: %v", tag, n, ea, eb)
+		}
+		if ea == nil && ra != rb {
+			t.Fatalf("%s round %d: result divergence: interp=%d threaded=%d", tag, n, ra, rb)
+		}
+		if ia.FuelUsed() != ib.FuelUsed() {
+			t.Fatalf("%s round %d: FuelUsed divergence: interp=%d threaded=%d (err=%v)",
+				tag, n, ia.FuelUsed(), ib.FuelUsed(), ea)
+		}
+		if ia.MemSize() != ib.MemSize() || !bytes.Equal(ia.mem, ib.mem) {
+			t.Fatalf("%s round %d: memory divergence (sizes %d vs %d)", tag, n, ia.MemSize(), ib.MemSize())
+		}
+		if len(logA) != len(logB) {
+			t.Fatalf("%s round %d: host-call count divergence: %d vs %d", tag, n, len(logA), len(logB))
+		}
+		for i := range logA {
+			if logA[i] != logB[i] {
+				t.Fatalf("%s round %d: host-call log divergence at %d: %d vs %d", tag, n, i, logA[i], logB[i])
+			}
+		}
+	}
+	round(1)
+	ia.ResetFast(fuel)
+	ib.ResetFast(fuel)
+	logA, logB = nil, nil
+	round(2)
+}
+
+func TestDifferentialStructured(t *testing.T) {
+	seeds := 300
+	if raceEnabled {
+		seeds = 60
+	}
+	for seed := 0; seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)*9176 + 7))
+		src := genStructured(r)
+		mod, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+		}
+		// Structured programs are depth-disciplined by construction: the
+		// compiler must accept every one of them.
+		probe, err := NewInstance(mod, diffHosts(new([]int64)), 1)
+		if err != nil {
+			t.Fatalf("seed %d: instance: %v", seed, err)
+		}
+		if probe.EffectiveTier() != TierThreaded {
+			t.Fatalf("seed %d: structured module fell back to the interpreter\n%s", seed, src)
+		}
+		arg := r.Int63n(1000)
+		for _, fuel := range []int64{0, int64(40 + r.Intn(400)), 1 << 20} {
+			runDiff(t, mod, true, arg, fuel, fmt.Sprintf("seed %d fuel %d", seed, fuel))
+		}
+	}
+}
+
+func TestDifferentialRaw(t *testing.T) {
+	seeds := 600
+	if raceEnabled {
+		seeds = 150
+	}
+	compiled, fallbacks := 0, 0
+	for seed := 0; seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)*31337 + 11))
+		mod := genRaw(r)
+		if mod == nil {
+			continue
+		}
+		probe, err := NewInstance(mod, nil, 1)
+		if err != nil {
+			t.Fatalf("seed %d: instance: %v", seed, err)
+		}
+		if probe.EffectiveTier() == TierThreaded {
+			compiled++
+		} else {
+			fallbacks++
+		}
+		// Raw programs may loop forever: metered budgets only.
+		for _, fuel := range []int64{int64(30 + r.Intn(200)), 5000} {
+			runDiff(t, mod, false, r.Int63n(100), fuel, fmt.Sprintf("raw seed %d fuel %d", seed, fuel))
+		}
+	}
+	t.Logf("raw modules: %d compiled, %d interpreter fallbacks", compiled, fallbacks)
+	// The symbolic translator accepts almost everything the validator
+	// does, so module-level fallbacks are rare (roughly one per few
+	// hundred seeds); only the full corpus is guaranteed to hit one.
+	if compiled == 0 || (!raceEnabled && fallbacks == 0) {
+		t.Fatalf("raw generator lost coverage: compiled=%d fallbacks=%d (want both >0)", compiled, fallbacks)
+	}
+}

@@ -112,6 +112,54 @@ var hasOperand = [opMax]bool{
 // validation must range-check.
 var isBranch = [opMax]bool{opJmp: true, opJz: true, opJnz: true}
 
+// stackEffect gives the fixed pop/push arity of the straight-line opcodes,
+// used by the threaded-tier depth analysis (ir.go). Control flow, calls
+// and host calls have context-dependent effects and are handled explicitly
+// there; fixed=false marks them (and any future opcode the analysis does
+// not know), which routes the module to the interpreter.
+var stackEffect = [opMax]struct {
+	pop, push int8
+	fixed     bool
+}{
+	opNop:       {0, 0, true},
+	opPush:      {0, 1, true},
+	opPop:       {1, 0, true},
+	opDup:       {1, 2, true},
+	opSwap:      {2, 2, true},
+	opLocalGet:  {0, 1, true},
+	opLocalSet:  {1, 0, true},
+	opLocalTee:  {1, 1, true},
+	opAdd:       {2, 1, true},
+	opSub:       {2, 1, true},
+	opMul:       {2, 1, true},
+	opDivS:      {2, 1, true},
+	opRemS:      {2, 1, true},
+	opAnd:       {2, 1, true},
+	opOr:        {2, 1, true},
+	opXor:       {2, 1, true},
+	opShl:       {2, 1, true},
+	opShrS:      {2, 1, true},
+	opShrU:      {2, 1, true},
+	opEq:        {2, 1, true},
+	opNe:        {2, 1, true},
+	opLtS:       {2, 1, true},
+	opGtS:       {2, 1, true},
+	opLeS:       {2, 1, true},
+	opGeS:       {2, 1, true},
+	opEqz:       {1, 1, true},
+	opLoad8U:    {1, 1, true},
+	opLoad64:    {1, 1, true},
+	opStore8:    {2, 0, true},
+	opStore64:   {2, 0, true},
+	opMemSize:   {0, 1, true},
+	opMemGrow:   {1, 1, true},
+	opPushPair:  {0, 2, true},
+	opUnpackPtr: {1, 1, true},
+	opUnpackLen: {1, 1, true},
+	opAddI:      {1, 1, true},
+	opLocalAddI: {0, 0, true},
+}
+
 // opNames maps opcodes to their assembly mnemonics.
 var opNames = [opMax]string{
 	opNop:         "nop",

@@ -44,6 +44,16 @@ type Instance struct {
 	// instead of re-imaging the whole linear memory.
 	hiWater int
 
+	// Threaded-tier state (compile.go): the compiled module (nil when the
+	// module fell back to the interpreter), the frame register file, and
+	// the per-instance machine state. regFile persists across resets —
+	// the register discipline writes every live slot before reading it,
+	// so stale values can never leak into a later invocation.
+	thmod   *thModule
+	regFile []int64
+	tstate  thState
+	tier    Tier
+
 	// Ctx lets host functions carry per-invocation state (e.g. the storage
 	// transaction) without a global registry.
 	Ctx any
@@ -73,7 +83,22 @@ func NewInstance(module *Module, hosts *HostTable, fuel int64) (*Instance, error
 		mem:    mem,
 		fuel:   fuel,
 		brk:    brk,
+		thmod:  module.threadedFor(resolved),
 	}, nil
+}
+
+// SetTier selects the execution engine for subsequent calls. The default
+// is TierThreaded; instances of modules the compiler rejected run on the
+// interpreter regardless.
+func (inst *Instance) SetTier(t Tier) { inst.tier = t }
+
+// EffectiveTier reports the engine calls actually run on: TierInterp when
+// the interpreter was selected or the module was not compiled.
+func (inst *Instance) EffectiveTier() Tier {
+	if inst.tier == TierThreaded && inst.thmod != nil {
+		return TierThreaded
+	}
+	return TierInterp
 }
 
 // Reset prepares the instance for reuse by a new invocation: memory is
@@ -131,6 +156,9 @@ func (inst *Instance) noteWrite(end int64) {
 
 // FuelUsed returns the fuel consumed since instantiation or the last Reset.
 func (inst *Instance) FuelUsed() int64 { return inst.used }
+
+// MemSize returns the current linear-memory size in bytes.
+func (inst *Instance) MemSize() int64 { return int64(len(inst.mem)) }
 
 // Module returns the instance's module.
 func (inst *Instance) Module() *Module { return inst.module }
@@ -210,6 +238,12 @@ func (inst *Instance) CallIndex(idx int, args ...int64) (int64, error) {
 	fn := &inst.module.Funcs[idx]
 	if len(args) != fn.NumParams {
 		return 0, fmt.Errorf("vm: %q takes %d args, got %d", fn.Name, fn.NumParams, len(args))
+	}
+	// The threaded tier handles a whole call tree; a reentrant call from a
+	// host function mid-run takes the interpreter, whose frames are
+	// independent of the register file.
+	if inst.tier == TierThreaded && inst.thmod != nil && !inst.tstate.active {
+		return inst.callThreaded(idx, args)
 	}
 	locals := make([]int64, fn.NumParams+fn.NumLocals)
 	copy(locals, args)

@@ -3,6 +3,8 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"lambdastore/internal/wire"
 )
@@ -56,6 +58,59 @@ type Module struct {
 	MaxPages int
 
 	funcIdx map[string]int
+	// thc holds the module's compiled (threaded-tier) form, built once on
+	// first instantiation when the host-call arities are known. A pointer
+	// so Module values stay copyable and copies share the compilation.
+	thc *thCompiled
+}
+
+// thCompiled caches one module's AOT compilation (compile.go).
+type thCompiled struct {
+	once sync.Once
+	th   *thModule // nil after a compile failure (interpreter fallback)
+	sigs []hostSig // host arities the module was compiled against
+}
+
+// threadedFor returns the module's compiled form for instantiation
+// against the given resolved hosts, compiling on first use. It returns
+// nil — leaving the instance on the interpreter — when the module is not
+// compilable or when the host arities differ from the ones recorded at
+// compile time (compiled argument offsets would be wrong).
+func (m *Module) threadedFor(hosts []*HostFunc) *thModule {
+	if m.thc == nil {
+		// Never validated; the interpreter path will surface the error.
+		return nil
+	}
+	m.thc.once.Do(func() {
+		sigs := make([]hostSig, len(hosts))
+		for i, h := range hosts {
+			sigs[i] = hostSig{nargs: h.NArgs, hasRet: h.HasRet}
+		}
+		start := time.Now()
+		th, ok := compileModule(m, sigs)
+		statCompileNs.Add(time.Since(start).Nanoseconds())
+		if ok {
+			m.thc.th = th
+			m.thc.sigs = sigs
+			statCompiledModules.Add(1)
+		} else {
+			statInterpFallbacks.Add(1)
+		}
+	})
+	if m.thc.th == nil {
+		return nil
+	}
+	if len(hosts) != len(m.thc.sigs) {
+		statInterpFallbacks.Add(1)
+		return nil
+	}
+	for i, h := range hosts {
+		if m.thc.sigs[i].nargs != h.NArgs || m.thc.sigs[i].hasRet != h.HasRet {
+			statInterpFallbacks.Add(1)
+			return nil
+		}
+	}
+	return m.thc.th
 }
 
 // FuncIndex returns the index of the named function, or -1.
@@ -209,6 +264,14 @@ func (m *Module) Validate() error {
 			return fmt.Errorf("%w: func %q may fall off the end", ErrBadModule, f.Name)
 		}
 		f.blockFuel = computeBlockFuel(f.code)
+	}
+	if m.thc == nil {
+		m.thc = &thCompiled{}
+	}
+	if len(m.Imports) == 0 {
+		// No host arities to wait for: compile at validation time, so the
+		// first instantiation is already warm.
+		m.threadedFor(nil)
 	}
 	return nil
 }

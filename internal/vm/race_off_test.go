@@ -1,0 +1,5 @@
+//go:build !race
+
+package vm
+
+const raceEnabled = false

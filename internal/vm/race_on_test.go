@@ -1,0 +1,8 @@
+//go:build race
+
+package vm
+
+// raceEnabled scales the differential-test seed count down: under the
+// race detector each run is ~10x slower and the goal is instrumented
+// coverage of the threaded tier, not exhaustive enumeration.
+const raceEnabled = true
