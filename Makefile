@@ -12,12 +12,13 @@
 #   make bench-rebalance many-group placement + Zipf hot-spot convergence (JSON artifact)
 #   make bench-read-scaleout  leased replica reads vs primary-only routing (JSON artifact)
 #   make bench-vm     VM tier: token-threaded dispatch vs interpreter (JSON artifact)
+#   make bench-overload  open-loop latency vs offered load, shed on/off (JSON artifact)
 #   make vet     gofmt + go vet hygiene
 #   make check   everything the CI gate runs
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance bench-read-scaleout bench-vm vet check clean
+.PHONY: all build test race chaos bench bench-write bench-read bench-obs bench-recovery bench-rebalance bench-read-scaleout bench-vm bench-overload vet check clean
 
 all: build
 
@@ -32,7 +33,7 @@ test:
 # instruments themselves, and the VM (lazy module compilation is shared
 # across instances; the differential test runs both tiers under -race).
 race:
-	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/ ./internal/replication/ ./internal/vm/
+	$(GO) test -race ./internal/core/ ./internal/cluster/ ./internal/cache/ ./internal/store/ ./internal/telemetry/ ./internal/rebalance/ ./internal/replication/ ./internal/vm/ ./internal/admission/
 
 # Deterministic failover chaos: every seed replays the same kill/partition/
 # fsync-failure schedule (see EXPERIMENTS.md "Chaos runs"). The smoke
@@ -92,6 +93,15 @@ bench-read-scaleout:
 # VM. The acceptance bar is >=2x on the compute-heavy microbench.
 bench-vm:
 	$(GO) run ./cmd/lambda-bench -vm -ops 4000 -out results/BENCH_vm_compile.json
+
+# Overload: seeded open-loop Poisson arrivals swept from half the measured
+# closed-loop capacity to 1.8x past it (latency measured CO-safe from each
+# intended arrival slot), against the same deployment with the admission
+# plane off (unbounded queueing) vs on (bounded queue + deadline shed).
+# The acceptance bar is a shed-config admitted-request p99 that stays a
+# small multiple of its pre-knee value while the no-shed p99 collapses.
+bench-overload:
+	$(GO) run ./cmd/lambda-bench -overload -out results/BENCH_overload.json
 
 vet:
 	@fmt_out=$$(gofmt -l .); \

@@ -14,6 +14,7 @@
 //	lambda-bench -rebalance               many-group placement + Zipf hot-spot convergence
 //	lambda-bench -read-scaleout           leased replica reads vs primary-only routing
 //	lambda-bench -vm                      VM tier: token-threaded dispatch vs interpreter
+//	lambda-bench -overload                open-loop latency vs offered load, shed on/off
 //	lambda-bench -all                     everything
 package main
 
@@ -44,6 +45,7 @@ func main() {
 		rebal       = flag.Bool("rebalance", false, "run the rebalance benchmark (throughput vs groups, Zipf hot-spot convergence)")
 		readScale   = flag.Bool("read-scaleout", false, "run the read scale-out benchmark (leased replica reads vs primary-only)")
 		vmCompile   = flag.Bool("vm", false, "run the VM-tier benchmark (token-threaded vs interpreter, micro + end-to-end)")
+		overload    = flag.Bool("overload", false, "run the overload benchmark (open-loop Poisson sweep past saturation, admission shedding on/off)")
 		out         = flag.String("out", "", "write the benchmark report JSON to this path")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -171,6 +173,13 @@ func main() {
 		ran = true
 		if _, err := bench.RunVMCompile(opts, *out, os.Stdout); err != nil {
 			log.Fatalf("lambda-bench: vm: %v", err)
+		}
+		fmt.Println()
+	}
+	if *overload {
+		ran = true
+		if _, err := bench.RunOverload(opts, *out, os.Stdout); err != nil {
+			log.Fatalf("lambda-bench: overload: %v", err)
 		}
 		fmt.Println()
 	}

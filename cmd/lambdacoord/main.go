@@ -65,6 +65,7 @@ func main() {
 		scrape    = flag.Duration("scrape-interval", coordinator.DefaultScrapeInterval, "member metrics scrape period for /cluster/metrics")
 		rebalInt  = flag.Duration("rebalance-interval", 0, "load-aware rebalancer observation window; 0 disables (enable on ONE replica only)")
 		rebalDry  = flag.Bool("rebalance-dry-run", false, "plan and record migrations without executing them")
+		shedAlert = flag.Float64("overload-alert", 0, "log an overload alert when the cluster-wide shed rate exceeds this many requests/sec (0 disables; needs -debug for the scraper)")
 	)
 	flag.Parse()
 	if *id == 0 || *peers == "" {
@@ -116,6 +117,29 @@ func main() {
 	if *debugAddr != "" {
 		agg = coordinator.NewAggregator(svc, *scrape)
 		agg.Start()
+	}
+
+	// Overload watcher: surface cluster-wide admission shedding in the
+	// coordinator log so an operator sees overload without watching
+	// `lambdactl top`. Piggybacks on the aggregator's scrape cadence.
+	alertStop := make(chan struct{})
+	if *shedAlert > 0 && agg != nil {
+		go func() {
+			ticker := time.NewTicker(*scrape)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-alertStop:
+					return
+				case <-ticker.C:
+				}
+				snap := agg.Snapshot()
+				if snap.Cluster.ShedPerSec > *shedAlert {
+					log.Printf("lambdacoord: OVERLOAD: cluster shedding %.1f req/s (threshold %.1f), admission queue depth %d",
+						snap.Cluster.ShedPerSec, *shedAlert, snap.Cluster.AdmissionQueueDepth)
+				}
+			}
+		}()
 	}
 
 	// The load-aware rebalancer: samples every primary's windowed hot-object
@@ -181,6 +205,7 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("lambdacoord: shutting down")
+	close(alertStop)
 	if dbg != nil {
 		dbg.Close()
 	}

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"lambdastore/internal/admission"
 	"lambdastore/internal/cluster"
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
@@ -71,6 +72,9 @@ Commands:
                   [-file SCRIPT]             apply one command, or POST a script
   recovery        -debug HOST:PORT,...       show each node's rejoin state and
                                              donor catch-up sessions
+  admission       -debug HOST:PORT,...       show each node's admission plane:
+                                             queue depth, shed counters,
+                                             per-tenant quota state
   rebalance       -debug HOST:PORT           show the load-aware rebalancer:
                                              last load window, recent move
                                              decisions, counters (coordinator
@@ -120,6 +124,9 @@ func main() {
 		return
 	case "recovery":
 		runRecovery(rest)
+		return
+	case "admission":
+		runAdmission(rest)
 		return
 	case "rebalance":
 		runRebalanceStatus(rest)
@@ -539,6 +546,53 @@ func runRecovery(args []string) {
 			fmt.Printf("  donating to %s: epoch=%d mode=%s forwarded=%d gaps=%d age=%.1fs\n",
 				s.Joiner, s.Epoch, mode, s.Forwarded, s.Gaps, s.AgeSeconds)
 		}
+	}
+}
+
+// runAdmission prints each node's admission-plane picture from its
+// /admission debug endpoint: slot occupancy, queue depth, and the shed
+// counters broken down by cause.
+func runAdmission(args []string) {
+	fs := flag.NewFlagSet("admission", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "", "comma-separated debug HTTP addresses (required)")
+	asJSON := fs.Bool("json", false, "dump the raw JSON status per node")
+	fs.Parse(args)
+	if *debugAddrs == "" {
+		log.Fatal("lambdactl: admission needs -debug")
+	}
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet("http://" + addr + "/admission")
+		if err != nil {
+			fmt.Printf("== %s: unreachable (%v)\n", addr, err)
+			continue
+		}
+		if *asJSON {
+			fmt.Printf("== %s\n%s\n", addr, strings.TrimSpace(string(body)))
+			continue
+		}
+		var st admission.Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			log.Fatalf("lambdactl: %s: bad /admission response: %v", addr, err)
+		}
+		fmt.Printf("== %s\n", addr)
+		if !st.Enabled {
+			fmt.Println("  admission plane disabled")
+			continue
+		}
+		fmt.Printf("  slots %d/%d busy, queue %d/%d (%s), deadline %.1fms\n",
+			st.Active, st.Workers, st.QueueDepth, st.QueueLimit,
+			map[bool]string{true: "LIFO", false: "FIFO"}[st.LIFO], st.DeadlineMs)
+		fmt.Printf("  admitted=%d queued=%d shed: deadline=%d quota=%d full=%d\n",
+			st.Admitted, st.Queued, st.ShedDeadline, st.ShedQuota, st.ShedFull)
+		fmt.Printf("  ewma service latency %dus", st.EWMALatencyUs)
+		if st.TenantQPS > 0 {
+			fmt.Printf(", %d tenant bucket(s) at %.1f qps", st.Tenants, st.TenantQPS)
+		}
+		fmt.Println()
 	}
 }
 

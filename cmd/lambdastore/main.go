@@ -40,6 +40,11 @@ func main() {
 		rejoin     = flag.Bool("rejoin", false, "anti-entropy rejoin: when deposed from the group, catch up from the primary via range digests and re-admit through the coordinator")
 		recRate    = flag.Int("recovery-rate", 0, "rejoin catch-up streaming rate limit in bytes/sec (0 = unlimited)")
 		recFull    = flag.Bool("recovery-full-resync", false, "ablation: stream every object on rejoin instead of only digest-divergent ranges")
+		admQueue   = flag.Int("admission-queue", 0, "admission plane: bounded wait-queue size in front of execution; overload is shed with a retryable error (0 disables)")
+		admDead    = flag.Duration("admission-deadline", 0, "admission plane: max queue wait before a request is shed (0 = default)")
+		admLIFO    = flag.Bool("admission-lifo", false, "admission plane: drain the wait queue newest-first")
+		admWorkers = flag.Int("admission-workers", 0, "admission plane: concurrent execution slots (0 = NumCPU)")
+		tenantQPS  = flag.Float64("tenant-qps", 0, "admission plane: per-tenant token-bucket rate limit in requests/sec (0 disables)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -64,6 +69,11 @@ func main() {
 		Rejoin:                 *rejoin,
 		RecoveryMaxBytesPerSec: *recRate,
 		RecoveryFullResync:     *recFull,
+		MaxConcurrentInvokes:   *admWorkers,
+		AdmissionQueue:         *admQueue,
+		AdmissionDeadline:      *admDead,
+		AdmissionLIFO:          *admLIFO,
+		TenantQPS:              *tenantQPS,
 	}
 	if *configPath != "" {
 		cfg, err := cluster.LoadConfigFile(*configPath)

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"lambdastore/internal/store"
+)
+
+func openSpillDB(t *testing.T) *store.DB {
+	t.Helper()
+	db, err := store.Open(t.TempDir(), &store.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSpillFlushByWrites(t *testing.T) {
+	db := openSpillDB(t)
+	s := newSpillBuffer(db, SpillOptions{FlushWrites: 4, FlushInterval: time.Hour})
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.ByWrites != 2 || st.Flushes != 2 || st.Records != 8 {
+		t.Fatalf("stats %+v, want 2 by-writes flushes over 8 records", st)
+	}
+	// Flushed records are readable.
+	if v, err := db.Get([]byte("k03")); err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("get after flush: %q, %v", v, err)
+	}
+}
+
+func TestSpillFlushByBytes(t *testing.T) {
+	db := openSpillDB(t)
+	s := newSpillBuffer(db, SpillOptions{FlushWrites: 1 << 20, FlushBytes: 64, FlushInterval: time.Hour})
+	defer s.Close()
+	big := make([]byte, 70)
+	if err := s.Append([]byte("big"), big); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if st := s.Stats(); st.ByBytes != 1 {
+		t.Fatalf("stats %+v, want one by-bytes flush", st)
+	}
+}
+
+func TestSpillFlushByIntervalAndClose(t *testing.T) {
+	db := openSpillDB(t)
+	s := newSpillBuffer(db, SpillOptions{FlushWrites: 1 << 20, FlushInterval: 2 * time.Millisecond})
+	if err := s.Append([]byte("a"), []byte("1")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().ByInterval == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval flush never fired: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, err := db.Get([]byte("a")); err != nil || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("get after interval flush: %q, %v", v, err)
+	}
+	// Close flushes the remainder.
+	if err := s.Append([]byte("b"), []byte("2")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if v, err := db.Get([]byte("b")); err != nil || !bytes.Equal(v, []byte("2")) {
+		t.Fatalf("get after close: %q, %v", v, err)
+	}
+	if st := s.Stats(); st.ByClose != 1 {
+		t.Fatalf("stats %+v, want one by-close flush", st)
+	}
+}
+
+func TestSpillCopiesCallerBuffers(t *testing.T) {
+	db := openSpillDB(t)
+	s := newSpillBuffer(db, SpillOptions{FlushWrites: 2, FlushInterval: time.Hour})
+	defer s.Close()
+	key := []byte("key")
+	val := []byte("value")
+	if err := s.Append(key, val); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// The caller recycles its buffers immediately (pooled RPC frames).
+	copy(key, "XXX")
+	copy(val, "XXXXX")
+	if err := s.Append([]byte("k2"), []byte("v2")); err != nil { // trips the flush
+		t.Fatalf("append: %v", err)
+	}
+	if v, err := db.Get([]byte("key")); err != nil || !bytes.Equal(v, []byte("value")) {
+		t.Fatalf("spill aliased the caller's buffers: %q, %v", v, err)
+	}
+}

@@ -59,6 +59,13 @@ type Options struct {
 	// benchmark's baseline.
 	DisableLeases bool
 
+	// Admission plane knobs (benchmarked by RunOverload).
+	MaxConcurrentInvokes int           // execution slots per node (0 = ungated)
+	AdmissionQueue       int           // bounded wait queue (0 = plane off)
+	AdmissionDeadline    time.Duration // max queue wait before shedding
+	AdmissionLIFO        bool          // drain newest-first
+	TenantQPS            float64       // per-tenant token-bucket limit
+
 	Verbose bool
 }
 
@@ -188,6 +195,11 @@ func StartAggregated(opts Options) (*Deployment, error) {
 			DisableMetrics:        opts.DisableMetrics,
 			Tracing:               opts.Tracing,
 			DisableLeases:         opts.DisableLeases,
+			MaxConcurrentInvokes:  opts.MaxConcurrentInvokes,
+			AdmissionQueue:        opts.AdmissionQueue,
+			AdmissionDeadline:     opts.AdmissionDeadline,
+			AdmissionLIFO:         opts.AdmissionLIFO,
+			TenantQPS:             opts.TenantQPS,
 		})
 		if err != nil {
 			d.Close()

@@ -152,6 +152,51 @@ func TestChaosMigrateUnderChaos(t *testing.T) {
 		rep.AckedTotal, rep.FailedOps, rep.RecoveryAttempts)
 }
 
+// TestChaosOverloadRestartRejoin arms a deliberately tiny admission
+// plane (2 execution slots, queue of 8, 5ms deadline) and drives the
+// restart-rejoin scenario, whose schedule slams the group with a 16-way
+// overload burst while the restarted backup is still catching up. The
+// plane must actually shed under that pressure, every refusal must be a
+// clean pre-execution ErrOverload, and — the invariant the scenario
+// exists for — every write acknowledged through the overload must
+// survive the subsequent failover onto the rejoined node (Run's
+// end-of-run verifier checks the ledgers).
+func TestChaosOverloadRestartRejoin(t *testing.T) {
+	c, err := Start(Options{
+		BaseDir:           t.TempDir(),
+		AdmissionQueue:    8,
+		AdmissionDeadline: 5 * time.Millisecond,
+		AdmissionWorkers:  2,
+	})
+	if err != nil {
+		t.Fatalf("chaos start: %v", err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		fault.Reset()
+	})
+	rep, err := Run(c, RunOptions{
+		Seed:      0x0ad1,
+		Scenarios: []Scenario{ScenarioRestartRejoin},
+		BurstOps:  15,
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if rep.OverloadShed == 0 {
+		t.Error("overload burst shed nothing — admission plane never engaged")
+	}
+	if rep.OverloadAcked == 0 {
+		t.Error("overload burst acknowledged nothing — total refusal, not overload control")
+	}
+	if rep.ExpectedPromotions != 1 {
+		t.Fatalf("expected 1 promotion (onto the rejoined node), schedule produced %d", rep.ExpectedPromotions)
+	}
+	t.Logf("overload restart-rejoin: %d acked (%d under overload), %d shed, %d failed, recovery %v",
+		rep.AckedTotal, rep.OverloadAcked, rep.OverloadShed, rep.FailedOps, rep.RecoveryAttempts)
+}
+
 func fmt_seed(s uint64) string {
 	const hex = "0123456789abcdef"
 	buf := []byte("seed-0x")

@@ -50,6 +50,13 @@ type Options struct {
 	// an abandoned migration session may sit before its partial copy is
 	// reclaimed). Zero keeps the node default.
 	MoveSessionTimeout time.Duration
+	// AdmissionQueue, when > 0, arms every node's admission plane (bounded
+	// wait queue + deadline shedding) — the overload scenarios' subject.
+	AdmissionQueue int
+	// AdmissionDeadline bounds queue wait before a shed (0 = plane default).
+	AdmissionDeadline time.Duration
+	// AdmissionWorkers sizes each node's execution slots (0 = NumCPU).
+	AdmissionWorkers int
 }
 
 func (o *Options) defaults() {
@@ -276,6 +283,9 @@ func (c *Cluster) nodeOptions(addr, dataDir string, group uint64) cluster.NodeOp
 		RecoveryFullResync:     c.opts.RejoinFullResync,
 		RecoveryMaxBytesPerSec: c.opts.RejoinMaxBytesPerSec,
 		MoveSessionTimeout:     c.opts.MoveSessionTimeout,
+		MaxConcurrentInvokes:   c.opts.AdmissionWorkers,
+		AdmissionQueue:         c.opts.AdmissionQueue,
+		AdmissionDeadline:      c.opts.AdmissionDeadline,
 		// Leases shorter than the failure-detector timeout: a deposed
 		// primary's barrier (one lease TTL) always ends before the
 		// coordinator can have promoted a successor, so a leased backup

@@ -2,8 +2,10 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"lambdastore/internal/admission"
 	"lambdastore/internal/cluster"
 	"lambdastore/internal/core"
 	"lambdastore/internal/fault"
@@ -144,6 +146,14 @@ type Report struct {
 	// RecoveryAttempts[i] is how many write attempts scenario i's heal
 	// needed before the cluster acknowledged again.
 	RecoveryAttempts []int
+	// OverloadAcked and OverloadShed summarize the restart-rejoin
+	// scenario's overload burst: writes the cluster acknowledged under
+	// pressure (these join Acked, so the verifier holds them to the
+	// no-lost-ack invariant) and arrivals the admission plane refused.
+	// A refusal is a clean ErrOverload BEFORE execution — a shed write is
+	// never acknowledged, so the two invariants cannot both claim one id.
+	OverloadAcked int
+	OverloadShed  int
 }
 
 // rng is a splitmix64 stream for schedule decisions (object choice,
@@ -433,6 +443,71 @@ func (r *runner) startLeaseProbe(obj core.ObjectID) (stop func() error) {
 	}
 }
 
+// overloadBurst fires `clients` concurrent writers, each appending
+// `perClient` unique ids, at the workload objects — deliberately far
+// past the admission plane's capacity when one is configured (see the
+// harness's AdmissionQueue/AdmissionWorkers knobs). The point is the
+// interaction invariant: shedding must stay a pre-execution refusal
+// even while the group is mid-rejoin, so an id is either acknowledged
+// (and then owed forever — it joins report.Acked and the end-of-run
+// verifier) or refused cleanly, never both. Ids come from the probe
+// range so they cannot collide with the main workload's.
+func (r *runner) overloadBurst(clients, perClient int) error {
+	// A dedicated client with one quick retry: a shed that survives the
+	// retry is observed as a shed instead of being hidden by the main
+	// client's patient backoff loop.
+	bc, err := cluster.NewClient(cluster.ClientConfig{
+		Coordinators:   r.c.CoordAddrs(),
+		MaxRetries:     2,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  5 * time.Millisecond,
+		RetryBudget:    250 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("overload burst client: %w", err)
+	}
+	defer bc.Close()
+	base := r.probeBase
+	r.probeBase += 1 << 20
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var acked, shed, failed int
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id := base + uint64(g*perClient+i)
+				obj := r.objects[int(id)%len(r.objects)]
+				_, err := bc.Invoke(obj, "append", [][]byte{core.I64Bytes(int64(id))})
+				mu.Lock()
+				switch {
+				case err == nil:
+					r.report.Acked[obj] = append(r.report.Acked[obj], id)
+					r.report.AckedTotal++
+					acked++
+				case admission.IsOverload(err):
+					shed++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.report.OverloadAcked += acked
+	r.report.OverloadShed += shed
+	r.report.FailedOps += failed
+	r.opts.Log("chaos: overload burst: %d acked, %d shed, %d failed (%d clients x %d ops, retries=%d)",
+		acked, shed, failed, clients, perClient, bc.OverloadRetries())
+	if acked == 0 {
+		return fmt.Errorf("chaos: overload burst acknowledged nothing — total refusal, not overload control")
+	}
+	return nil
+}
+
 // runRestartRejoin drives the anti-entropy rejoin scenario: kill a
 // backup, write through its downtime, restart it and wait for digest
 // catch-up to end in re-admission, then remove every other member so
@@ -482,6 +557,13 @@ func (r *runner) runRestartRejoin() error {
 
 	r.opts.Log("chaos: restarting node %d, awaiting anti-entropy rejoin", bi)
 	if err := r.c.Restart(bi); err != nil {
+		return err
+	}
+	// Overload while the rejoin is in flight: a burst of concurrent
+	// writers slams the (possibly admission-gated) group mid-recovery.
+	// Every acknowledged id is owed by the eventual sole survivor; every
+	// refusal must have been a clean pre-execution shed.
+	if err := r.overloadBurst(16, 8); err != nil {
 		return err
 	}
 	if err := r.c.WaitBackup(bi, r.opts.RejoinTimeout); err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lambdastore/internal/admission"
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
 	"lambdastore/internal/rpc"
@@ -50,6 +51,14 @@ type Client struct {
 	// tracing mints a fresh trace ID per invocation; the receiving nodes
 	// decide whether spans are actually recorded.
 	tracing bool
+
+	// tenant tags invocations for per-tenant admission quotas.
+	tenant string
+
+	// overloadRetries counts invocations that were shed by a node's
+	// admission plane and retried with backoff — kept separate from
+	// routing/fault retries so overload is visible as overload.
+	overloadRetries atomic.Uint64
 }
 
 // ReadPolicy selects which replica serves a read-only invocation. With
@@ -97,6 +106,9 @@ type ClientConfig struct {
 	// ReadPolicy selects the replica for read-only invocations
 	// (default ReadRoundRobin).
 	ReadPolicy ReadPolicy
+	// Tenant tags every invocation with an admission-quota identity.
+	// Empty, nodes attribute requests to the client's host.
+	Tenant string
 }
 
 // NewClient builds a client.
@@ -109,6 +121,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		retryMax:    cfg.RetryMaxDelay,
 		retryBudget: cfg.RetryBudget,
 		tracing:     cfg.Tracing,
+		tenant:      cfg.Tenant,
 		readPolicy:  cfg.ReadPolicy,
 		inflight:    make(map[string]int64),
 	}
@@ -142,6 +155,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 
 // Close releases the client's connections.
 func (c *Client) Close() { c.pool.Close() }
+
+// OverloadRetries reports how many times this client's invocations were
+// shed by a node's admission plane and retried.
+func (c *Client) OverloadRetries() uint64 { return c.overloadRetries.Load() }
 
 // Directory returns the client's current configuration view.
 func (c *Client) Directory() *shard.Directory {
@@ -280,7 +297,7 @@ func (c *Client) track(addr string) func() {
 }
 
 func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method string, args [][]byte, readOnly bool) ([]byte, error) {
-	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args, readOnly: readOnly})
+	body := encodeInvokeReq(&invokeReq{object: id, method: method, args: args, readOnly: readOnly, tenant: c.tenant})
 	deadline := time.Now().Add(c.retryBudget)
 	var lastErr error
 	for attempt := 0; attempt < c.maxRetries; attempt++ {
@@ -311,6 +328,14 @@ func (c *Client) invoke(ctx telemetry.SpanContext, id core.ObjectID, method stri
 				}
 				lastErr = err
 			}
+			continue
+		}
+		// Overload shed: the node's admission plane refused the request
+		// before execution. The configuration is fine — just back off and
+		// retry; the capped exponential backoff is exactly the client-side
+		// half of the congestion-control loop.
+		if admission.IsOverload(err) {
+			c.overloadRetries.Add(1)
 			continue
 		}
 		// Connection-level failure: the node may have died; refresh config

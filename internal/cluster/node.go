@@ -3,10 +3,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lambdastore/internal/admission"
 	"lambdastore/internal/coordinator"
 	"lambdastore/internal/core"
 	"lambdastore/internal/debug"
@@ -87,8 +89,29 @@ type NodeOptions struct {
 	// compute capacity. In-process multi-node benches share one CPU
 	// pool, so without this gate placement has no throughput effect;
 	// with it, a node saturates at its own limit the way a real machine
-	// saturates its cores.
+	// saturates its cores. With AdmissionQueue unset this is a bare
+	// blocking semaphore (requests queue without bound or deadline);
+	// with it, it sizes the admission plane's execution slots.
 	MaxConcurrentInvokes int
+	// AdmissionQueue, when positive, enables the admission plane: a
+	// bounded wait queue of this many requests in front of the execution
+	// slots (MaxConcurrentInvokes, or NumCPU when unset), with
+	// deadline-based shedding and optional per-tenant quotas. Requests
+	// the plane refuses are rejected with a typed overload error the
+	// client retries with capped backoff. Zero keeps the legacy
+	// unbounded semaphore gate.
+	AdmissionQueue int
+	// AdmissionDeadline bounds queue wait before a request is shed
+	// (0 = admission.DefaultDeadline).
+	AdmissionDeadline time.Duration
+	// AdmissionLIFO drains the admission queue newest-first: under a
+	// burst the freshest requests still meet their deadline while the
+	// oldest — whose clients have likely given up — are shed.
+	AdmissionLIFO bool
+	// TenantQPS, when positive, token-bucket rate-limits each tenant at
+	// the admission plane. The tenant is the client-declared tenant tag
+	// on the invoke frame, falling back to the peer's host.
+	TenantQPS float64
 	// MoveSessionTimeout bounds inbound live-migration session
 	// inactivity before the target reclaims the partial copy (0 =
 	// default 10s; chaos tests shrink it).
@@ -146,7 +169,10 @@ type Node struct {
 	fences     map[uint64]string
 
 	// invSem, when non-nil, is the MaxConcurrentInvokes admission gate.
+	// adm, when non-nil, supersedes it (AdmissionQueue > 0): a bounded
+	// queue with deadline shedding and per-tenant quotas.
 	invSem chan struct{}
+	adm    *admission.Plane
 
 	// Read-lease plane. leases is this node's backup-side holder (nil
 	// only when leasing is disabled); leaseTTL is the primary-side grant
@@ -216,7 +242,19 @@ func StartNode(opts NodeOptions) (*Node, error) {
 		tracer:  tracer,
 		fences:  make(map[uint64]string),
 	}
-	if opts.MaxConcurrentInvokes > 0 {
+	if opts.AdmissionQueue > 0 {
+		// Admission plane supersedes the bare semaphore: same slot count,
+		// but waits are bounded and overload is shed instead of queued
+		// without limit.
+		n.adm = admission.New(admission.Options{
+			Workers:    opts.MaxConcurrentInvokes,
+			QueueLimit: opts.AdmissionQueue,
+			Deadline:   opts.AdmissionDeadline,
+			LIFO:       opts.AdmissionLIFO,
+			TenantQPS:  opts.TenantQPS,
+			Metrics:    reg,
+		})
+	} else if opts.MaxConcurrentInvokes > 0 {
 		n.invSem = make(chan struct{}, opts.MaxConcurrentInvokes)
 	}
 	n.forwards = reg.Counter("cluster.forwards")
@@ -397,6 +435,12 @@ func StartNode(opts NodeOptions) (*Node, error) {
 					"rejoin":         n.recmgr.Status(),
 					"donor_sessions": n.donor.Sessions(),
 				}
+			},
+			Admission: func() any {
+				if n.adm == nil {
+					return map[string]any{"enabled": false}
+				}
+				return n.adm.Status()
 			},
 		})
 		if err != nil {
@@ -761,11 +805,24 @@ func (n *Node) Close() error {
 	if n.debugSrv != nil {
 		n.debugSrv.Close()
 	}
+	if n.adm != nil {
+		n.adm.Close()
+	}
 	n.moveTgt.Close()
 	n.srv.Close()
 	n.shipper.Close()
 	n.pool.Close()
 	return n.db.Close()
+}
+
+// peerHost reduces a remote address to its host for tenant attribution:
+// every connection from a machine dials from a fresh ephemeral port, and
+// per-port buckets would give each connection its own quota.
+func peerHost(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
 }
 
 // fenceObject makes routing reject the object with not-responsible
@@ -960,7 +1017,24 @@ func (n *Node) registerHandlers() {
 				return nil, err
 			}
 		}
-		if n.invSem != nil {
+		if n.adm != nil {
+			// Shed-before-execute: an overload rejection happens strictly
+			// before the runtime sees the request, so no invocation that
+			// reached commit (and thus no acked write) is ever shed.
+			tenant := req.tenant
+			if tenant == "" {
+				tenant = peerHost(info.Peer)
+			}
+			release, aerr := n.adm.Admit(tenant)
+			if aerr != nil {
+				return nil, aerr
+			}
+			t0 := time.Now()
+			defer func() {
+				n.adm.Observe(time.Since(t0))
+				release()
+			}()
+		} else if n.invSem != nil {
 			n.invSem <- struct{}{}
 			defer func() { <-n.invSem }()
 		}

@@ -58,7 +58,8 @@ type invokeReq struct {
 	object   core.ObjectID
 	method   string
 	args     [][]byte
-	readOnly bool // client-requested replica-read
+	readOnly bool   // client-requested replica-read
+	tenant   string // admission-quota identity ("" = derive from the peer)
 }
 
 func encodeInvokeReq(r *invokeReq) []byte {
@@ -71,6 +72,12 @@ func encodeInvokeReq(r *invokeReq) []byte {
 	}
 	b = wire.AppendUvarint(b, ro)
 	b = wire.AppendBytesSlice(b, r.args)
+	// The tenant tag rides after the args, appended only when set: frames
+	// from tenant-less clients are byte-identical to the pre-tenant format,
+	// and decoders treat a missing tail as no tenant.
+	if r.tenant != "" {
+		b = wire.AppendString(b, r.tenant)
+	}
 	return b
 }
 
@@ -90,12 +97,17 @@ func decodeInvokeReq(body []byte) (*invokeReq, error) {
 		return nil, err
 	}
 	r.readOnly = ro != 0
-	items, _, err := wire.BytesSlice(body)
+	items, rest, err := wire.BytesSlice(body)
 	if err != nil {
 		return nil, err
 	}
 	for _, it := range items {
 		r.args = append(r.args, append([]byte(nil), it...))
+	}
+	if len(rest) > 0 {
+		if r.tenant, _, err = wire.String(rest); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }

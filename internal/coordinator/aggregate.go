@@ -54,6 +54,11 @@ type GroupMetrics struct {
 	// (no valid lease) and redirected to the primary.
 	BackupReadsPerSec  float64 `json:"backup_reads_per_sec"`
 	BouncedReadsPerSec float64 `json:"bounced_reads_per_sec"`
+	// ShedPerSec is the windowed rate of invocations refused by the
+	// admission plane, all causes (deadline, quota, queue full) summed.
+	ShedPerSec float64 `json:"shed_per_sec"`
+	// AdmissionQueueDepth is the summed admission.queue_depth gauge.
+	AdmissionQueueDepth int64 `json:"admission_queue_depth"`
 	// Invoke is the merged windowed invoke histogram (with exemplars), for
 	// consumers that want more than the precomputed quantiles.
 	Invoke telemetry.HistData `json:"invoke,omitempty"`
@@ -234,6 +239,10 @@ func rollup(m telemetry.RegistrySnapshot) GroupMetrics {
 	gm.Leases = m.Gauges["lease.held"]
 	gm.BackupReadsPerSec = m.Counters["reads.backup_served"].RatePerSec
 	gm.BouncedReadsPerSec = m.Counters["reads.primary_bounced"].RatePerSec
+	gm.ShedPerSec = m.Counters["admission.shed_deadline"].RatePerSec +
+		m.Counters["admission.shed_quota"].RatePerSec +
+		m.Counters["admission.shed_full"].RatePerSec
+	gm.AdmissionQueueDepth = m.Gauges["admission.queue_depth"]
 	return gm
 }
 
@@ -247,13 +256,14 @@ func FormatClusterMetrics(cm ClusterMetrics) string {
 	}
 	fmt.Fprintf(&b, "cluster: %d/%d member(s) scraped, window %.1fs, updated %v ago\n",
 		cm.Scraped, cm.Members, cm.Cluster.WindowSecs, age)
-	fmt.Fprintf(&b, "%-6s %-22s %8s %9s %9s %9s %11s %6s %5s %6s %8s %8s\n",
-		"GROUP", "PRIMARY", "OPS/S", "P50(us)", "P99(us)", "P999(us)", "FSYNC99(us)", "CACHE", "QD", "LEASES", "BKRD/S", "BNC/S")
+	fmt.Fprintf(&b, "%-6s %-22s %8s %9s %9s %9s %11s %6s %5s %6s %8s %8s %8s %6s\n",
+		"GROUP", "PRIMARY", "OPS/S", "P50(us)", "P99(us)", "P999(us)", "FSYNC99(us)", "CACHE", "QD", "LEASES", "BKRD/S", "BNC/S", "SHED/S", "QDEPTH")
 	row := func(name, primary string, g GroupMetrics) {
-		fmt.Fprintf(&b, "%-6s %-22s %8.1f %9d %9d %9d %11d %5.1f%% %5d %6d %8.1f %8.1f\n",
+		fmt.Fprintf(&b, "%-6s %-22s %8.1f %9d %9d %9d %11d %5.1f%% %5d %6d %8.1f %8.1f %8.1f %6d\n",
 			name, primary, g.OpsPerSec, g.P50Us, g.P99Us, g.P999Us,
 			g.WalFsyncP99Us, 100*g.CacheHitRate, g.QueueDepth,
-			g.Leases, g.BackupReadsPerSec, g.BouncedReadsPerSec)
+			g.Leases, g.BackupReadsPerSec, g.BouncedReadsPerSec,
+			g.ShedPerSec, g.AdmissionQueueDepth)
 	}
 	for _, g := range cm.Groups {
 		row(fmt.Sprintf("%d", g.ID), g.Primary, g)

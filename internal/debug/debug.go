@@ -55,6 +55,10 @@ type Options struct {
 	// status (last observation window, recent decisions, move counters),
 	// as JSON.
 	Rebalance func() any
+	// Admission, if set, backs /admission: the node's admission-plane
+	// status (queue depth, shed counters, per-tenant quota state), as
+	// JSON.
+	Admission func() any
 	// Window is the sliding-window length for /metrics.json windowed
 	// values; zero selects telemetry.DefaultWindow.
 	Window time.Duration
@@ -111,6 +115,12 @@ func Start(addr string, o Options) (*Server, error) {
 		mux.HandleFunc("/rebalance", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(o.Rebalance())
+		})
+	}
+	if o.Admission != nil {
+		mux.HandleFunc("/admission", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(o.Admission())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -270,9 +270,12 @@ func (w *connWriter) fail(err error) {
 type Handler func(body []byte) ([]byte, error)
 
 // CallInfo carries per-request metadata into a handler: the caller's trace
-// context, restored from the request frame.
+// context, restored from the request frame, and the connection's remote
+// address — the frame identity admission quotas key off when the client
+// did not declare a tenant.
 type CallInfo struct {
 	Trace telemetry.SpanContext
+	Peer  string
 }
 
 // HandlerCtx is a Handler that also receives the request's CallInfo.
@@ -424,6 +427,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if srvMetrics != nil {
 		cw.coalesced.Store(srvMetrics.coalesced)
 	}
+	peer := conn.RemoteAddr().String()
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
@@ -474,7 +478,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if m != nil {
 				start = time.Now()
 			}
-			info := CallInfo{Trace: telemetry.SpanContext{Trace: msg.trace, Span: msg.parent}}
+			info := CallInfo{Trace: telemetry.SpanContext{Trace: msg.trace, Span: msg.parent}, Peer: peer}
 			resp := &message{kind: msgResponse, id: msg.id}
 			if h == nil {
 				resp.errStr = ErrNoMethod.Error() + ": " + msg.method

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := NewPoisson(7, 1000)
+	b := NewPoisson(7, 1000)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("gap %d diverged under the same seed: %v vs %v", i, ga, gb)
+		}
+	}
+	c := NewPoisson(8, 1000)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatalf("different seeds produced an identical schedule")
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	const rate = 500.0
+	gen := NewPoisson(42, rate)
+	var sum time.Duration
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += gen.Next()
+	}
+	mean := sum.Seconds() / n
+	want := 1 / rate
+	if mean < 0.95*want || mean > 1.05*want {
+		t.Fatalf("mean gap %.6fs, want ~%.6fs (rate %v)", mean, want, rate)
+	}
+}
+
+func TestRunOpenLoopDeterministicSchedule(t *testing.T) {
+	cfg := DefaultConfig(16)
+	run := func() OpenLoopResult {
+		var ops atomic.Uint64
+		inv := InvokerFunc(func(object uint64, method string, args [][]byte) ([]byte, error) {
+			ops.Add(1)
+			return nil, nil
+		})
+		res, err := RunOpenLoop(cfg, Post, inv, OpenLoopOptions{
+			Rate: 2000, Duration: 250 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("RunOpenLoop: %v", err)
+		}
+		if res.Issued != ops.Load() {
+			t.Fatalf("issued %d but invoker saw %d", res.Issued, ops.Load())
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	// Same seed, same rate, same duration: the arrival schedule is
+	// identical, so the issue count must be too.
+	if r1.Issued != r2.Issued {
+		t.Fatalf("issue counts diverged across identical runs: %d vs %d", r1.Issued, r2.Issued)
+	}
+	if r1.Issued == 0 || r1.Completed != r1.Issued {
+		t.Fatalf("issued=%d completed=%d, want all completed", r1.Issued, r1.Completed)
+	}
+	if r1.Latency.Count == 0 {
+		t.Fatalf("no latency samples recorded")
+	}
+}
+
+func TestRunOpenLoopShedClassification(t *testing.T) {
+	cfg := DefaultConfig(16)
+	shedErr := errors.New("overloaded: queue full")
+	var n atomic.Uint64
+	inv := InvokerFunc(func(object uint64, method string, args [][]byte) ([]byte, error) {
+		switch n.Add(1) % 3 {
+		case 0:
+			return nil, shedErr
+		case 1:
+			return nil, errors.New("boom")
+		default:
+			return nil, nil
+		}
+	})
+	res, err := RunOpenLoop(cfg, GetTimeline, inv, OpenLoopOptions{
+		Rate: 2000, Duration: 200 * time.Millisecond,
+		IsShed: func(err error) bool { return errors.Is(err, shedErr) },
+	})
+	if err != nil {
+		t.Fatalf("RunOpenLoop: %v", err)
+	}
+	if res.Shed == 0 || res.Errors == 0 || res.Completed == 0 {
+		t.Fatalf("expected a mix of outcomes, got shed=%d errs=%d done=%d",
+			res.Shed, res.Errors, res.Completed)
+	}
+	if res.Shed+res.Errors+res.Completed != res.Issued {
+		t.Fatalf("outcomes %d+%d+%d do not account for %d issued",
+			res.Shed, res.Errors, res.Completed, res.Issued)
+	}
+	// Shed requests stay out of the latency distribution. (The count can
+	// exceed Completed: coordinated-omission correction backfills
+	// synthetic samples for late arrivals.)
+	if res.Latency.Count < res.Completed {
+		t.Fatalf("latency count %d < completed %d", res.Latency.Count, res.Completed)
+	}
+	if res.ShedRate() <= 0 || res.ShedRate() >= 1 {
+		t.Fatalf("shed rate %.3f out of range", res.ShedRate())
+	}
+}
